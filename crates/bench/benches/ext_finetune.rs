@@ -1,0 +1,43 @@
+//! **Extension (paper §X future work 2)** — fine-tuning the inexpensive
+//! LLM: "we can generate several batches of question-answer pairs to
+//! fine-tune GPT-3.5-turbo. Then, we might achieve the same QA performance
+//! based on the inexpensive LLM."
+//!
+//! This bench runs SAGE on QuALITY with the GPT-3.5 analog fine-tuned on
+//! increasing amounts of generated QA data and compares accuracy and total
+//! dollars against GPT-4o-mini and GPT-4.
+
+use sage::corpus::datasets::quality;
+use sage::llm::fine_tune;
+use sage::prelude::*;
+use sage_bench::{header, models, pct, sizes};
+
+fn main() {
+    let models = models();
+    let dataset = quality::generate(sizes::quality());
+
+    let rows: Vec<(String, LlmProfile)> = vec![
+        ("GPT-3.5-turbo".into(), LlmProfile::gpt35_turbo()),
+        ("GPT-3.5 + FT (200 pairs)".into(), fine_tune(LlmProfile::gpt35_turbo(), 200)),
+        ("GPT-3.5 + FT (2000 pairs)".into(), fine_tune(LlmProfile::gpt35_turbo(), 2000)),
+        ("GPT-4o-mini".into(), LlmProfile::gpt4o_mini()),
+        ("GPT-4".into(), LlmProfile::gpt4()),
+    ];
+
+    header(
+        "Extension: fine-tuning the cheap LLM (SAGE on QuALITY)",
+        &format!("{:<28} {:>10} {:>14} {:>22}", "Reader", "Accuracy", "Total cost", "Accuracy per dollar"),
+    );
+    for (label, profile) in rows {
+        let s = evaluate(Method::Sage(RetrieverKind::OpenAiSim), models, profile, &dataset);
+        let dollars = s.dollars;
+        println!(
+            "{label:<28} {:>10} {:>14} {:>22.1}",
+            pct(s.accuracy),
+            format!("${dollars:.6}"),
+            if dollars > 0.0 { s.accuracy as f64 / dollars } else { f64::INFINITY },
+        );
+    }
+    println!("\nExpected shape: fine-tuning closes most of the gap to GPT-4o-mini/GPT-4 while");
+    println!("staying far cheaper than GPT-4 — the paper's §X(2) conjecture.");
+}

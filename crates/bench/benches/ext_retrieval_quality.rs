@@ -1,0 +1,106 @@
+//! **Retrieval-quality decomposition** — the paper attributes SAGE's gains
+//! to *precise retrieval*; this bench measures that claim directly,
+//! reader-free, against exact evidence ground truth: for each QASPER-analog
+//! question, a retrieved chunk is relevant iff it contains a gold evidence
+//! sentence. Compares 200-token chunking vs semantic chunking, first-stage
+//! vs reranked ordering.
+
+use sage::corpus::datasets::qasper;
+use sage::prelude::*;
+use sage_bench::{header, models, sizes};
+
+struct Tally {
+    mrr: f32,
+    recall5: f32,
+    hit1: f32,
+    ndcg10: f32,
+    n: usize,
+}
+
+impl Tally {
+    fn new() -> Self {
+        Self { mrr: 0.0, recall5: 0.0, hit1: 0.0, ndcg10: 0.0, n: 0 }
+    }
+
+    fn add(&mut self, relevant: &[bool]) {
+        self.mrr += sage::eval::reciprocal_rank(relevant);
+        self.recall5 += sage::eval::recall_at_k(relevant, 5);
+        self.hit1 += sage::eval::hit_rate_at_k(relevant, 1);
+        self.ndcg10 += sage::eval::ndcg_at_k(relevant, 10);
+        self.n += 1;
+    }
+
+    fn row(&self, label: &str) {
+        let n = self.n.max(1) as f32;
+        println!(
+            "{label:<36} {:>8.3} {:>9.3} {:>12.3} {:>9.3}",
+            self.mrr / n,
+            self.recall5 / n,
+            self.hit1 / n,
+            self.ndcg10 / n
+        );
+    }
+}
+
+fn main() {
+    let models = models();
+    let dataset = qasper::generate(sizes::qasper());
+
+    header(
+        "Retrieval quality vs gold evidence (QASPER analog)",
+        &format!(
+            "{:<36} {:>8} {:>9} {:>12} {:>9}",
+            "Configuration", "MRR", "Recall@5", "Hit@1", "nDCG@10"
+        ),
+    );
+
+    for (label, config) in [
+        ("200-token chunks, first stage", SageConfig::naive_rag()),
+        ("200-token chunks, reranked", SageConfig::rerank_fixed_k()),
+        (
+            "semantic chunks, first stage",
+            SageConfig { use_rerank: false, use_selection: false, use_feedback: false, ..SageConfig::sage() },
+        ),
+        (
+            "semantic chunks, reranked",
+            SageConfig { use_selection: false, use_feedback: false, ..SageConfig::sage() },
+        ),
+    ] {
+        let mut tally = Tally::new();
+        let mut built: Option<(usize, RagSystem)> = None;
+        for task in &dataset.tasks {
+            if task.item.evidence.is_empty() {
+                continue; // unanswerable questions have no gold evidence
+            }
+            if built.as_ref().map(|(d, _)| *d) != Some(task.doc) {
+                let corpus = vec![dataset.documents[task.doc].text()];
+                built = Some((
+                    task.doc,
+                    RagSystem::build(
+                        models,
+                        RetrieverKind::OpenAiSim,
+                        config,
+                        LlmProfile::gpt4o_mini(),
+                        &corpus,
+                    ),
+                ));
+            }
+            let (_, system) = built.as_ref().unwrap();
+            let (cand_ids, ranked) = system.candidates(&task.item.question);
+            let relevant: Vec<bool> = ranked
+                .iter()
+                .map(|r| {
+                    let chunk = &system.chunks()[cand_ids[r.index]];
+                    task.item.evidence.iter().any(|e| chunk.contains(e))
+                })
+                .collect();
+            tally.add(&relevant);
+        }
+        tally.row(label);
+    }
+
+    println!("\nExpected shape: reranking and semantic chunking each lift MRR / Hit@1 /");
+    println!("nDCG toward 1.0 — the retrieval-side mechanism behind the end-to-end QA");
+    println!("gains. (With semantic chunks the first stage is already near-perfect, so");
+    println!("reranking has little left to fix.)");
+}

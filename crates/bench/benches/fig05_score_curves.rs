@@ -1,0 +1,42 @@
+//! **Figure 5** — the reranker's sorted relevance-score curves for two
+//! question types: a focused factoid question (sharp drop after the
+//! relevant chunks) and a broad elimination question (flat high region,
+//! then the drop). These are the curves gradient selection (Algorithm 2)
+//! cuts at.
+
+use sage::core::case_studies::{missing_retrieval_sweep, noisy_retrieval_sweep};
+use sage::prelude::*;
+use sage_bench::{header, models};
+
+fn ascii_curve(scores: &[f32]) -> String {
+    scores
+        .iter()
+        .map(|s| match (s * 10.0) as u32 {
+            0 => '_',
+            1..=3 => '.',
+            4..=6 => 'o',
+            _ => '#',
+        })
+        .collect()
+}
+
+fn main() {
+    let models = models();
+    let profile = LlmProfile::gpt4o_mini();
+
+    header("Figure 5: relevance-score curves of retrieved chunks", "rank: 1 → N");
+
+    let focused = noisy_retrieval_sweep(models, profile);
+    println!("\nArticle-1 (focused question): {}", focused.question);
+    println!("  scores: {:?}", focused.score_curve.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!("  curve:  [{}]  (sharp drop — select the head)", ascii_curve(&focused.score_curve));
+    println!("  SAGE selected {} chunks, correct: {}", focused.sage_selected, focused.sage_correct);
+
+    let broad = missing_retrieval_sweep(models, LlmProfile::gpt4());
+    println!("\nArticle-2 (elimination question): {}", broad.question);
+    println!("  scores: {:?}", broad.score_curve.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!("  curve:  [{}]  (flat high region — select many)", ascii_curve(&broad.score_curve));
+    println!("  SAGE selected {} chunks, correct: {}", broad.sage_selected, broad.sage_correct);
+
+    println!("\nExpected shape: focused question cliff-then-noise; broad question wide plateau.");
+}

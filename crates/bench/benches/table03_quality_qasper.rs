@@ -1,0 +1,38 @@
+//! **Table III** — effectiveness on QuALITY (accuracy) and QASPER
+//! (F1-Match) with the GPT-4o-mini analog: every retriever with and
+//! without SAGE.
+//!
+//! Paper shape: +2.88% average accuracy on QuALITY, +6.79% average F1 on
+//! QASPER — SAGE helps on both, with the larger relative gain on the
+//! open-ended dataset.
+
+use sage::corpus::datasets::{qasper, quality};
+use sage::prelude::*;
+use sage_bench::{header, models, pct, sizes};
+
+fn main() {
+    let models = models();
+    let quality_ds = quality::generate(sizes::quality());
+    let qasper_ds = qasper::generate(sizes::qasper());
+    let profile = LlmProfile::gpt4o_mini();
+
+    header(
+        "Table III: QuALITY accuracy & QASPER F1-Match (GPT-4o-mini sim)",
+        &format!(
+            "{:<34} {:>18} {:>18}",
+            "Model", "Accuracy (QuALITY)", "F1-Match (QASPER)"
+        ),
+    );
+    for kind in RetrieverKind::all() {
+        for (with_sage, label) in [
+            (true, format!("{} with SAGE", kind.label())),
+            (false, format!("{} without SAGE", kind.label())),
+        ] {
+            let method = if with_sage { Method::Sage(kind) } else { Method::NaiveRag(kind) };
+            let q = evaluate(method, models, profile, &quality_ds);
+            let p = evaluate(method, models, profile, &qasper_ds);
+            println!("{label:<34} {:>18} {:>18}", pct(q.accuracy), pct(p.f1));
+        }
+    }
+    println!("\nExpected shape: SAGE lifts every retriever on both datasets.");
+}

@@ -1,0 +1,34 @@
+//! **Table XII** — LLM proficiency comparison on QuALITY: BM25, DPR, and
+//! SAGE accuracy with the GPT-3.5-turbo analog vs the GPT-4o-mini analog
+//! (§VIII Exp-14 / insight 3).
+//!
+//! Paper shape: the GPT-4o-mini column dominates the GPT-3.5 column for
+//! every method (~+17-21% relative), and SAGE leads within each column —
+//! LLM strength matters more than the retriever.
+
+use sage::corpus::datasets::quality;
+use sage::prelude::*;
+use sage_bench::{header, models, pct, sizes};
+
+fn main() {
+    let models = models();
+    let dataset = quality::generate(sizes::quality());
+
+    let rows: [(&str, Method); 3] = [
+        ("BM25", Method::NaiveRag(RetrieverKind::Bm25)),
+        ("DPR", Method::NaiveRag(RetrieverKind::Dpr)),
+        ("SAGE", Method::Sage(RetrieverKind::OpenAiSim)),
+    ];
+
+    header(
+        "Table XII: accuracy by LLM proficiency on QuALITY",
+        &format!("{:<8} {:>20} {:>24}", "Model", "GPT-3.5 Accuracy", "GPT-4o-mini Accuracy"),
+    );
+    for (label, method) in rows {
+        let g35 = evaluate(method, models, LlmProfile::gpt35_turbo(), &dataset);
+        let mini = evaluate(method, models, LlmProfile::gpt4o_mini(), &dataset);
+        println!("{label:<8} {:>20} {:>24}", pct(g35.accuracy), pct(mini.accuracy));
+    }
+    println!("\nExpected shape: GPT-4o-mini column > GPT-3.5 column for every method;");
+    println!("SAGE best within each column.");
+}

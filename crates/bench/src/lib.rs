@@ -1,0 +1,69 @@
+//! Shared plumbing for the experiment bench harness.
+//!
+//! Every table and figure in the paper's evaluation has one bench target in
+//! `benches/` (registered with `harness = false`), so
+//! `cargo bench --workspace` regenerates the entire evaluation. Each target
+//! prints rows in the paper's layout; EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+//!
+//! Sizes here are chosen so the full sweep runs in minutes on a laptop
+//! while keeping enough questions per cell (≥ 40) for stable percentages.
+
+use sage::prelude::*;
+use std::sync::OnceLock;
+
+/// The default-budget trained models, shared across benches in one process.
+pub fn models() -> &'static TrainedModels {
+    static M: OnceLock<TrainedModels> = OnceLock::new();
+    M.get_or_init(|| {
+        eprintln!("[bench] training models (default budget)...");
+        TrainedModels::train(TrainBudget::default())
+    })
+}
+
+/// Standard dataset sizes per analog.
+pub mod sizes {
+    use sage::prelude::SizeConfig;
+
+    /// NarrativeQA analog: 12 long narratives x 4 questions.
+    pub fn narrativeqa() -> SizeConfig {
+        SizeConfig { num_docs: 12, questions_per_doc: 4, seed: 0x2A01 }
+    }
+
+    /// QuALITY analog: 12 stories x 4 MC questions (+1 hard each).
+    pub fn quality() -> SizeConfig {
+        SizeConfig { num_docs: 12, questions_per_doc: 4, seed: 0x2A02 }
+    }
+
+    /// QASPER analog: 12 papers x 4 questions.
+    pub fn qasper() -> SizeConfig {
+        SizeConfig { num_docs: 12, questions_per_doc: 4, seed: 0x2A03 }
+    }
+
+    /// TriviaQA analog: one shared corpus of 150 short docs.
+    pub fn triviaqa() -> SizeConfig {
+        SizeConfig { num_docs: 150, questions_per_doc: 1, seed: 0x2A04 }
+    }
+}
+
+/// Format a ratio as a percentage with two decimals (paper style).
+pub fn pct(x: f32) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Print a table header with a rule.
+pub fn header(title: &str, columns: &str) {
+    println!("\n=== {title} ===");
+    println!("{columns}");
+    println!("{}", "-".repeat(columns.len().max(20)));
+}
+
+/// Megabytes with two decimals.
+pub fn mb(bytes: usize) -> String {
+    format!("{:.2} MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Seconds with three decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}

@@ -1,0 +1,317 @@
+//! CLI subcommand implementations.
+
+use crate::args::Flags;
+use sage::corpus::datasets::{narrativeqa, qasper, quality, SizeConfig};
+use sage::prelude::*;
+use std::sync::OnceLock;
+
+/// Models are trained once per process (deterministic, a few seconds), or
+/// loaded from a `--models` file written by `sage train`.
+fn models() -> &'static TrainedModels {
+    static M: OnceLock<TrainedModels> = OnceLock::new();
+    M.get_or_init(|| {
+        eprintln!("training models (one-time, deterministic)...");
+        TrainedModels::train(TrainBudget::default())
+    })
+}
+
+/// Resolve the model bundle: `--models <path>` loads a saved bundle,
+/// otherwise models are trained in-process.
+fn resolve_models(flags: &Flags) -> Result<&'static TrainedModels, String> {
+    match flags.get("models") {
+        Some(path) if !path.is_empty() => {
+            static LOADED: OnceLock<TrainedModels> = OnceLock::new();
+            if LOADED.get().is_none() {
+                let loaded = TrainedModels::load(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot load models from {path}: {e}"))?;
+                let _ = LOADED.set(loaded);
+            }
+            Ok(LOADED.get().expect("just set"))
+        }
+        _ => Ok(models()),
+    }
+}
+
+/// `sage index` — build a system over a corpus file and save it.
+pub fn index(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags.require("file")?)?;
+    let out = flags.require("out")?;
+    let retriever = parse_retriever(flags.get_or("retriever", "openai"))?;
+    let config = if flags.has("naive") { SageConfig::naive_rag() } else { SageConfig::sage() };
+    let system = RagSystem::build(
+        resolve_models(flags)?,
+        retriever,
+        config,
+        LlmProfile::gpt4o_mini(), // placeholder; `query` rebinds the reader
+        &corpus,
+    );
+    system.save(std::path::Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let stats = system.build_stats();
+    eprintln!(
+        "indexed {} chunks ({} corpus tokens) -> {out}",
+        stats.chunk_count, stats.corpus_tokens
+    );
+    Ok(())
+}
+
+/// `sage query` — answer a question against a saved index.
+pub fn query(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("index")?;
+    let question = flags.require("question")?;
+    let profile = parse_llm(flags.get_or("llm", "gpt4o-mini"))?;
+    let system = RagSystem::load(std::path::Path::new(path), profile)
+        .map_err(|e| format!("cannot load index {path}: {e}"))?;
+    let result = system.answer_open(question);
+    println!("{}", result.answer.text);
+    eprintln!(
+        "confidence {:.2} | {} chunks | {} tokens | ${:.6}",
+        result.answer.confidence,
+        result.selected.len(),
+        result.cost.total_tokens(),
+        result.cost.dollars(profile.prices),
+    );
+    Ok(())
+}
+
+/// `sage train` — train the model bundle and save it for reuse.
+pub fn train(flags: &Flags) -> Result<(), String> {
+    let out = flags.require("out")?;
+    let m = models();
+    m.save(std::path::Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("saved trained models to {out}");
+    Ok(())
+}
+
+/// Load a text file as one corpus document: blank-line-separated paragraphs
+/// become '\n'-separated paragraphs (the format the pipeline expects);
+/// single newlines inside a paragraph are unwrapped to spaces.
+fn load_corpus(path: &str) -> Result<Vec<String>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let paragraphs: Vec<String> = raw
+        .split("\n\n")
+        .map(|p| p.split_whitespace().collect::<Vec<_>>().join(" "))
+        .filter(|p| !p.is_empty())
+        .collect();
+    if paragraphs.is_empty() {
+        return Err(format!("{path} contains no text"));
+    }
+    Ok(vec![paragraphs.join("\n")])
+}
+
+fn parse_retriever(name: &str) -> Result<RetrieverKind, String> {
+    match name {
+        "openai" | "hashed" => Ok(RetrieverKind::OpenAiSim),
+        "sbert" => Ok(RetrieverKind::Sbert),
+        "dpr" => Ok(RetrieverKind::Dpr),
+        "bm25" => Ok(RetrieverKind::Bm25),
+        other => Err(format!("unknown retriever `{other}` (openai|sbert|dpr|bm25)")),
+    }
+}
+
+fn parse_llm(name: &str) -> Result<LlmProfile, String> {
+    match name {
+        "gpt4" => Ok(LlmProfile::gpt4()),
+        "gpt4o-mini" | "mini" => Ok(LlmProfile::gpt4o_mini()),
+        "gpt3.5" | "gpt35" => Ok(LlmProfile::gpt35_turbo()),
+        "unifiedqa" => Ok(LlmProfile::unifiedqa_3b()),
+        other => Err(format!("unknown llm `{other}` (gpt4|gpt4o-mini|gpt3.5|unifiedqa)")),
+    }
+}
+
+/// `sage segment` — show the semantic chunks of a corpus file.
+pub fn segment(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags.require("file")?)?;
+    let threshold: f32 = flags.get_parse("threshold", 0.55)?;
+    let coarse: usize = flags.get_parse("coarse", 400)?;
+    let chunks = if flags.has("naive") {
+        let tokens: usize = flags.get_parse("naive", 200).unwrap_or(200).max(1);
+        SentenceSegmenter { max_tokens: tokens }.segment(&corpus[0])
+    } else {
+        let segmenter = SemanticSegmenter::with_params(
+            resolve_models(flags)?.segmentation.clone(),
+            threshold,
+            coarse,
+        );
+        segmenter.segment(&corpus[0])
+    };
+    for (i, chunk) in chunks.iter().enumerate() {
+        println!("[{i:>3}] ({} tokens) {chunk}", sage::text::count_tokens(chunk));
+    }
+    eprintln!("{} chunks", chunks.len());
+    Ok(())
+}
+
+/// `sage ask` — answer a question over a corpus file.
+pub fn ask(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags.require("file")?)?;
+    let question = flags.require("question")?;
+    let retriever = parse_retriever(flags.get_or("retriever", "openai"))?;
+    let profile = parse_llm(flags.get_or("llm", "gpt4o-mini"))?;
+    let config = if flags.has("naive") { SageConfig::naive_rag() } else { SageConfig::sage() };
+
+    let system = RagSystem::build(resolve_models(flags)?, retriever, config, profile, &corpus);
+    let result = system.answer_open(question);
+    println!("{}", result.answer.text);
+    eprintln!(
+        "confidence {:.2} | {} chunks | {} feedback rounds | {} tokens | ${:.6}",
+        result.answer.confidence,
+        result.selected.len(),
+        result.feedback_rounds,
+        result.cost.total_tokens(),
+        result.cost.dollars(profile.prices),
+    );
+    if flags.has("show-context") {
+        for &id in &result.selected {
+            eprintln!("  [ctx {id}] {}", system.chunks()[id]);
+        }
+    }
+    Ok(())
+}
+
+/// `sage eval` — run a method over a generated dataset and print metrics.
+pub fn eval(flags: &Flags) -> Result<(), String> {
+    let dataset_name = flags.get_or("dataset", "quality");
+    let docs: usize = flags.get_parse("docs", 6)?;
+    let questions: usize = flags.get_parse("questions", 4)?;
+    let seed: u64 = flags.get_parse("seed", 0xC11u64)?;
+    let cfg = SizeConfig { num_docs: docs.max(1), questions_per_doc: questions.max(1), seed };
+    let dataset = match dataset_name {
+        "quality" => quality::generate(cfg),
+        "qasper" => qasper::generate(cfg),
+        "narrativeqa" => narrativeqa::generate(cfg),
+        other => return Err(format!("unknown dataset `{other}` (quality|qasper|narrativeqa)")),
+    };
+    let retriever = parse_retriever(flags.get_or("retriever", "openai"))?;
+    let method = match flags.get_or("method", "sage") {
+        "sage" => Method::Sage(retriever),
+        "naive" => Method::NaiveRag(retriever),
+        "raptor" => Method::Raptor,
+        "title-abstract" => Method::TitleAbstract,
+        "bm25-bert" => Method::Bm25Bert,
+        "summarize" => Method::RecursiveSummary,
+        other => {
+            return Err(format!(
+                "unknown method `{other}` (sage|naive|raptor|title-abstract|bm25-bert|summarize)"
+            ))
+        }
+    };
+    let profile = parse_llm(flags.get_or("llm", "gpt4o-mini"))?;
+
+    eprintln!(
+        "evaluating {} on {dataset_name} ({} docs, {} questions, {} tokens)...",
+        method.label(),
+        dataset.documents.len(),
+        dataset.tasks.len(),
+        dataset.corpus_tokens()
+    );
+    let s = evaluate(method, resolve_models(flags)?, profile, &dataset);
+    println!("method            {}", s.label);
+    println!("llm               {}", s.llm);
+    println!("questions         {}", s.n);
+    if s.accuracy > 0.0 {
+        println!("accuracy          {:.2}%", 100.0 * s.accuracy);
+        println!("accuracy (hard)   {:.2}%", 100.0 * s.hard_accuracy);
+    }
+    if s.rouge > 0.0 {
+        println!("ROUGE-L           {:.2}%", 100.0 * s.rouge);
+        println!("BLEU-1            {:.2}%", 100.0 * s.bleu1);
+        println!("BLEU-4            {:.2}%", 100.0 * s.bleu4);
+        println!("METEOR            {:.2}%", 100.0 * s.meteor);
+        println!("F1-Match          {:.2}%", 100.0 * s.f1);
+    }
+    println!("total tokens      {}", s.cost.total_tokens());
+    println!("total cost        ${:.6}", s.dollars);
+    println!("cost efficiency   {:.2}", s.efficiency());
+    Ok(())
+}
+
+/// `sage demo` — the quickstart corpus, end to end.
+pub fn demo() -> Result<(), String> {
+    let corpus = vec![
+        "Whiskers is a playful tabby cat. He has bright green eyes. His fur is mostly gray.\n\
+         The morning fog settled over the valley, as it had for many years.\n\
+         Dorinwick was well known in the region. He lives in Ashford. He works as a baker."
+            .to_string(),
+    ];
+    let system = RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &corpus,
+    );
+    for q in [
+        "What is the color of Whiskers's eyes?",
+        "Where does Dorinwick live?",
+        "What is Dorinwick's profession?",
+    ] {
+        let r = system.answer_open(q);
+        println!("Q: {q}\nA: {}\n", r.answer.text);
+    }
+    Ok(())
+}
+
+/// Print usage.
+pub fn print_help() {
+    println!(
+        "sage — SAGE precise-retrieval RAG (ICDE 2025 reproduction)
+
+USAGE:
+  sage segment --file <path> [--threshold 0.55] [--coarse 400] [--naive [tokens]]
+  sage ask     --file <path> --question \"...\" [--retriever openai|sbert|dpr|bm25]
+               [--llm gpt4|gpt4o-mini|gpt3.5|unifiedqa] [--naive] [--show-context]
+  sage eval    [--dataset quality|qasper|narrativeqa] [--method sage|naive|raptor|
+               title-abstract|bm25-bert|summarize] [--docs N] [--questions M]
+               [--retriever R] [--llm L] [--seed S]
+  sage index   --file <path> --out <index> [--retriever R] [--naive]
+  sage query   --index <index> --question \"...\" [--llm L]
+  sage train   --out <path>         # save the trained model bundle
+  sage demo
+  sage help
+
+All commands accept --models <path> to reuse a saved bundle instead of
+training at startup.
+
+Corpus files: paragraphs separated by blank lines."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_retriever_accepts_all_kinds() {
+        assert_eq!(parse_retriever("openai").unwrap(), RetrieverKind::OpenAiSim);
+        assert_eq!(parse_retriever("sbert").unwrap(), RetrieverKind::Sbert);
+        assert_eq!(parse_retriever("dpr").unwrap(), RetrieverKind::Dpr);
+        assert_eq!(parse_retriever("bm25").unwrap(), RetrieverKind::Bm25);
+        assert!(parse_retriever("faiss").is_err());
+    }
+
+    #[test]
+    fn parse_llm_accepts_aliases() {
+        assert_eq!(parse_llm("mini").unwrap().name, LlmProfile::gpt4o_mini().name);
+        assert_eq!(parse_llm("gpt35").unwrap().name, LlmProfile::gpt35_turbo().name);
+        assert!(parse_llm("claude").is_err());
+    }
+
+    #[test]
+    fn load_corpus_unwraps_paragraphs() {
+        let path = std::env::temp_dir().join("sage_cli_test_corpus.txt");
+        std::fs::write(&path, "line one\nline two\n\nsecond para").unwrap();
+        let corpus = load_corpus(path.to_str().unwrap()).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus[0], "line one line two\nsecond para");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_corpus_errors() {
+        assert!(load_corpus("/nonexistent/definitely/missing.txt").is_err());
+        let path = std::env::temp_dir().join("sage_cli_test_empty.txt");
+        std::fs::write(&path, "   \n\n  ").unwrap();
+        assert!(load_corpus(path.to_str().unwrap()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,56 @@
+//! `sage` — command-line interface to the SAGE RAG framework.
+//!
+//! ```text
+//! sage segment --file corpus.txt [--threshold 0.55] [--coarse 400]
+//! sage ask     --file corpus.txt --question "..." [--retriever R] [--llm L]
+//!              [--naive] [--show-context]
+//! sage eval    --dataset quality|qasper|narrativeqa [--method sage|naive]
+//!              [--docs N] [--questions M] [--llm L]
+//! sage train   --out models.bin
+//! sage demo
+//! sage help
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy does
+//! not include a CLI parser, and the surface is small).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        commands::print_help();
+        return ExitCode::FAILURE;
+    };
+    let parsed = match args::parse_flags(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "segment" => commands::segment(&parsed),
+        "ask" => commands::ask(&parsed),
+        "eval" => commands::eval(&parsed),
+        "train" => commands::train(&parsed),
+        "index" => commands::index(&parsed),
+        "query" => commands::query(&parsed),
+        "demo" => commands::demo(),
+        "help" | "--help" | "-h" => {
+            commands::print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `sage help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

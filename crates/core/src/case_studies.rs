@@ -1,0 +1,267 @@
+//! The paper's §VIII case studies, as programmatic drivers:
+//!
+//! * [`noisy_retrieval_sweep`] — Figure 8: sweep the fixed K and watch the
+//!   answer flip from correct to distractor-supported as noise accumulates;
+//! * [`missing_retrieval_sweep`] — Figure 9: an elimination question that
+//!   fails at small K, succeeds at large K, and whose reranker score curve
+//!   is smooth (so SAGE's gradient selection keeps extending);
+//! * [`incomplete_chunks_case`] — Figure 10: fixed-length segmentation
+//!   splits an intro+fact pair so the pronoun-form fact cannot be used;
+//! * [`score_curves`] — Figure 5: the reranker's sorted score patterns for
+//!   a focused vs. a broad question.
+
+use crate::config::{RetrieverKind, SageConfig};
+use crate::models::TrainedModels;
+use crate::pipeline::RagSystem;
+use sage_llm::LlmProfile;
+
+/// One K-sweep step.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Fixed K used.
+    pub k: usize,
+    /// Option the reader picked.
+    pub picked: usize,
+    /// Whether it was correct.
+    pub correct: bool,
+}
+
+/// Outcome of a case study sweep plus SAGE's dynamic behaviour.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// The question.
+    pub question: String,
+    /// The options.
+    pub options: Vec<String>,
+    /// Index of the correct option.
+    pub correct_option: usize,
+    /// Fixed-K sweep results.
+    pub sweep: Vec<SweepPoint>,
+    /// Number of chunks SAGE's gradient selection chose.
+    pub sage_selected: usize,
+    /// Whether SAGE answered correctly.
+    pub sage_correct: bool,
+    /// Reranker scores of the candidates, sorted descending (the Figure
+    /// 5 curve for this question).
+    pub score_curve: Vec<f32>,
+}
+
+/// The Figure-8 corpus: one target fact plus many same-relation
+/// conflicting distractors supporting one specific wrong option.
+fn noisy_corpus() -> (String, String, Vec<String>, usize) {
+    let mut paragraphs = vec![
+        "Whiskers is a playful tabby cat. He has bright green eyes.".to_string(),
+    ];
+    // Distractors that lend support to "orange".
+    for name in ["Patchy", "Brone", "Mossy", "Fidget", "Tufty", "Bramble", "Clover", "Dapple"] {
+        paragraphs.push(format!(
+            "{name} is another pet in the house. {name} has bright orange eyes."
+        ));
+    }
+    // Generic filler.
+    for i in 0..6 {
+        paragraphs.push(format!(
+            "The market square was quiet that season, stall {i}, while the town carried on."
+        ));
+    }
+    let corpus = paragraphs.join("\n");
+    let question = "What is the color of Whiskers's eyes?".to_string();
+    let options: Vec<String> =
+        ["green", "orange", "violet", "gray"].iter().map(|s| s.to_string()).collect();
+    (corpus, question, options, 0)
+}
+
+/// The Figure-9 corpus: an inventor with many development facts spread
+/// over several paragraphs, plus filler; the elimination question needs
+/// most of them.
+fn elimination_corpus() -> (String, String, Vec<String>, usize) {
+    let devices = ["vapor engine", "tide clock", "salt battery", "spring loom", "gear press"];
+    let mut paragraphs = vec!["Vorden was well known in the region.".to_string()];
+    // Interleave unrelated scenery between the development facts so the
+    // evidence spreads across many retrieval chunks — the paper's missing-
+    // retrieval setup needs the facts to *not* sit in one chunk.
+    for (i, d) in devices.iter().enumerate() {
+        paragraphs.push(format!(
+            "In year {}, Vorden developed the {d}. The work took months.",
+            1890 + i * 3
+        ));
+        paragraphs.push(format!(
+            "Rain tapped gently on the old roof, night {i}, and the day passed slowly."
+        ));
+    }
+    let corpus = paragraphs.join("\n");
+    let question = "Which device was not developed by Vorden?".to_string();
+    // Three held devices + the unheld echo compass (correct).
+    let options: Vec<String> = ["vapor engine", "salt battery", "echo compass", "gear press"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    (corpus, question, options, 2)
+}
+
+fn run_case(
+    models: &TrainedModels,
+    profile: LlmProfile,
+    corpus: String,
+    question: String,
+    options: Vec<String>,
+    correct: usize,
+    max_k: usize,
+) -> CaseStudy {
+    let corpus = vec![corpus];
+    // Fixed-K sweep: selection off, min_k = K.
+    let mut sweep = Vec::new();
+    for k in 1..=max_k {
+        let cfg = SageConfig {
+            min_k: k,
+            use_rerank: true,
+            use_segmentation: true,
+            use_selection: false,
+            use_feedback: false,
+            ..SageConfig::default()
+        };
+        let system = RagSystem::build(models, RetrieverKind::OpenAiSim, cfg, profile, &corpus);
+        let r = system.answer_multiple_choice(&question, &options);
+        let picked = r.picked_option.expect("mc answer");
+        sweep.push(SweepPoint { k, picked, correct: picked == correct });
+    }
+    // SAGE with gradient selection (no feedback, to isolate selection).
+    let sage_cfg = SageConfig { use_feedback: false, ..SageConfig::sage() };
+    let system = RagSystem::build(models, RetrieverKind::OpenAiSim, sage_cfg, profile, &corpus);
+    let r = system.answer_multiple_choice(&question, &options);
+    let score_curve = system.rerank_scores(&question);
+    CaseStudy {
+        question,
+        options,
+        correct_option: correct,
+        sweep,
+        sage_selected: r.selected.len(),
+        sage_correct: r.picked_option == Some(correct),
+        score_curve,
+    }
+}
+
+/// Figure 8: noisy retrieval. The reader is correct at small K and drifts
+/// toward the distractor-supported option as K grows.
+pub fn noisy_retrieval_sweep(models: &TrainedModels, profile: LlmProfile) -> CaseStudy {
+    let (corpus, question, options, correct) = noisy_corpus();
+    run_case(models, profile, corpus, question, options, correct, 15)
+}
+
+/// Figure 9: missing retrieval. The elimination question fails at small K
+/// and succeeds once all development facts are in context; SAGE's smooth
+/// score curve makes gradient selection keep extending.
+pub fn missing_retrieval_sweep(models: &TrainedModels, profile: LlmProfile) -> CaseStudy {
+    let (corpus, question, options, correct) = elimination_corpus();
+    run_case(models, profile, corpus, question, options, correct, 15)
+}
+
+/// Figure 10 outcome: the same question answered over fixed-length chunks
+/// vs. semantic chunks.
+#[derive(Debug, Clone)]
+pub struct SegmentationCase {
+    /// The question.
+    pub question: String,
+    /// Gold answer.
+    pub gold: String,
+    /// Answer over fixed-length (mid-sentence) chunks.
+    pub fixed_answer: String,
+    /// Answer over semantic chunks.
+    pub semantic_answer: String,
+    /// Whether the fixed-length chunking separated the fact from its
+    /// antecedent (diagnosed on the actual chunks).
+    pub fixed_split_evidence: bool,
+}
+
+/// Figure 10: ineffective corpus segmentation. A pronoun-form fact whose
+/// antecedent lands in a different fixed-length chunk cannot be used.
+pub fn incomplete_chunks_case(models: &TrainedModels, profile: LlmProfile) -> SegmentationCase {
+    // A long lead-in pushes the intro and the pronoun fact across the
+    // fixed-length chunk boundary.
+    let corpus_text = "The festival had gone on for three long days and the lanterns still \
+         burned along every street of the town while visitors kept arriving from distant \
+         villages with carts and songs. Gavir is a quiet shepherd. He sang a tribal song for \
+         the moderator. The crowd fell silent when the song ended and the judges wrote \
+         their notes slowly."
+        .to_string();
+    let question = "What did Gavir sing for the moderator?".to_string();
+    let gold = "tribal song".to_string();
+
+    use sage_segment::{FixedLengthSegmenter, Segmenter, SemanticSegmenter};
+    // Fixed-length segmentation splits the intro from the pronoun fact for
+    // *some* chunk sizes (the paper's point is that no fixed size is safe);
+    // scan a few realistic sizes and demonstrate one that does.
+    let mut fixed_chunks = FixedLengthSegmenter { max_tokens: 28 }.segment(&corpus_text);
+    let splits = |chunks: &[String]| {
+        !chunks
+            .iter()
+            .any(|c| c.contains("Gavir is a quiet shepherd") && c.contains("sang a tribal song"))
+    };
+    let mut fixed_split_evidence = splits(&fixed_chunks);
+    for max_tokens in [18usize, 24, 36, 12, 20] {
+        if fixed_split_evidence {
+            break;
+        }
+        fixed_chunks = FixedLengthSegmenter { max_tokens }.segment(&corpus_text);
+        fixed_split_evidence = splits(&fixed_chunks);
+    }
+    let semantic = SemanticSegmenter::with_params(models.segmentation.clone(), 0.55, 400);
+    let semantic_chunks = semantic.segment(&corpus_text);
+
+    let llm = sage_llm::SimLlm::new(profile);
+    let fixed_answer = llm.answer_open(&question, &fixed_chunks).text;
+    let semantic_answer = llm.answer_open(&question, &semantic_chunks).text;
+    SegmentationCase { question, gold, fixed_answer, semantic_answer, fixed_split_evidence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::TrainBudget;
+    use std::sync::OnceLock;
+
+    fn models() -> &'static TrainedModels {
+        static M: OnceLock<TrainedModels> = OnceLock::new();
+        M.get_or_init(|| TrainedModels::train(TrainBudget::tiny()))
+    }
+
+    #[test]
+    fn noisy_sweep_correct_at_low_k() {
+        let cs = noisy_retrieval_sweep(models(), LlmProfile::gpt4o_mini());
+        assert_eq!(cs.sweep.len(), 15);
+        // The first few K values retrieve the target first: correct.
+        assert!(cs.sweep[0].correct || cs.sweep[1].correct, "{:?}", &cs.sweep[..3]);
+        // SAGE stays correct by cutting noise.
+        assert!(cs.sage_correct, "SAGE selected {} chunks", cs.sage_selected);
+        // Score curve is descending.
+        for w in cs.score_curve.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn missing_sweep_needs_large_k() {
+        let cs = missing_retrieval_sweep(models(), LlmProfile::gpt4());
+        let small_k_correct = cs.sweep[..3].iter().filter(|p| p.correct).count();
+        let large_k_correct = cs.sweep[10..].iter().filter(|p| p.correct).count();
+        assert!(
+            large_k_correct > small_k_correct,
+            "large K should beat small K: {:?}",
+            cs.sweep
+        );
+        // SAGE keeps extending on the smooth curve: selects more than the
+        // default min_k.
+        assert!(cs.sage_selected >= 7, "selected {}", cs.sage_selected);
+    }
+
+    #[test]
+    fn incomplete_chunks_fixed_splits_semantic_does_not() {
+        let cs = incomplete_chunks_case(models(), LlmProfile::gpt4o_mini());
+        assert!(cs.fixed_split_evidence, "fixed-length chunking should split the evidence");
+        assert!(
+            cs.semantic_answer.contains("song") || cs.semantic_answer.contains("tribal"),
+            "semantic answer: {}",
+            cs.semantic_answer
+        );
+    }
+}

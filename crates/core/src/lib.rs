@@ -1,0 +1,37 @@
+//! # sage-core
+//!
+//! The SAGE framework (paper Figure 2) assembled from the substrate
+//! crates, plus every baseline the paper compares against and the
+//! experiment harnesses that regenerate its tables and figures.
+//!
+//! * [`config::SageConfig`] — the paper's hyper-parameters (`ss = 0.55`,
+//!   `l = 400`, `min_k = 7`, `g = 0.3`, `fs = 9`, `N = 20`, ≤3 feedback
+//!   rounds) plus per-module toggles for the Table IV ablation.
+//! * [`models::TrainedModels`] — one-stop training of the segmentation
+//!   model (Algorithm 1), the cross-feature reranker, and the SBERT/DPR
+//!   analog encoders, all deterministic.
+//! * [`pipeline::RagSystem`] — build (segment → embed → index) and query
+//!   (retrieve → rerank → gradient-select → generate → self-feedback).
+//! * [`baselines`] — Naive RAG, Title+Abstract, BM25+BERT, Recursively
+//!   Summarizing Books, RAPTOR, and the reader baselines (BiDAF /
+//!   Longformer / CoLISA / DPR+DeBERTa analogs).
+//! * [`experiment`] — dataset → system → metrics plumbing shared by every
+//!   bench target.
+//! * [`scalability`] — the Tables VIII/IX concurrency harness.
+//! * [`case_studies`] — the Figure 8/9/10 single-question drivers.
+//! * [`multihop`] — the paper's future-work §X(1): iterative multi-hop
+//!   retrieval (Baleen-style), with its own synthetic 2-hop tasks.
+
+pub mod baselines;
+pub mod case_studies;
+pub mod config;
+pub mod experiment;
+pub mod models;
+pub mod multihop;
+pub mod persist;
+pub mod pipeline;
+pub mod scalability;
+
+pub use config::{RetrieverKind, SageConfig};
+pub use models::TrainedModels;
+pub use pipeline::{BuildStats, QueryResult, RagSystem};

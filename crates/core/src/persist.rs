@@ -1,0 +1,293 @@
+//! Whole-system persistence: a built [`RagSystem`] — chunks, embedder,
+//! vector index, fitted reranker, configuration — serialized to one file,
+//! so a corpus is segmented and indexed once and then served by any number
+//! of processes (`sage index` / `sage query` in the CLI).
+//!
+//! Format: `SAGESYS1` magic, then config, retriever kind + embedder +
+//! index blob (dense) or chunks-only (BM25, whose index rebuilds in
+//! milliseconds), then the chunk store and the optional fitted scorer.
+//! The LLM profile is intentionally *not* persisted: the reader is a
+//! runtime choice, not a property of the corpus.
+
+use crate::config::{RetrieverKind, SageConfig};
+use crate::pipeline::{AnyRetriever, RagSystem};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sage_embed::{DualEncoder, HashedEmbedder, SiameseEncoder};
+use sage_llm::LlmProfile;
+use sage_nn::io::{get_string, get_u32, get_u8, put_string};
+use sage_nn::BytesSerialize;
+use sage_rerank::CrossScorer;
+use sage_retrieval::{Bm25Retriever, DenseRetriever, Retriever};
+use sage_vecdb::{FlatIndex, VectorIndex};
+
+const MAGIC: &[u8; 8] = b"SAGESYS1";
+
+fn write_config(cfg: &SageConfig, buf: &mut BytesMut) {
+    buf.put_f32_le(cfg.segmentation_threshold);
+    buf.put_u32_le(cfg.coarse_tokens as u32);
+    buf.put_u32_le(cfg.min_k as u32);
+    buf.put_f32_le(cfg.gradient);
+    buf.put_u8(cfg.feedback_threshold);
+    buf.put_u32_le(cfg.max_feedback_rounds as u32);
+    buf.put_u32_le(cfg.candidates as u32);
+    buf.put_u8(u8::from(cfg.use_segmentation));
+    buf.put_u8(u8::from(cfg.use_rerank));
+    buf.put_u8(u8::from(cfg.use_selection));
+    buf.put_u8(u8::from(cfg.use_feedback));
+    buf.put_u32_le(cfg.naive_chunk_tokens as u32);
+}
+
+fn read_config(buf: &mut Bytes) -> Option<SageConfig> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let segmentation_threshold = buf.get_f32_le();
+    let coarse_tokens = get_u32(buf)? as usize;
+    let min_k = get_u32(buf)? as usize;
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let gradient = buf.get_f32_le();
+    let feedback_threshold = get_u8(buf)?;
+    let max_feedback_rounds = get_u32(buf)? as usize;
+    let candidates = get_u32(buf)? as usize;
+    let use_segmentation = get_u8(buf)? != 0;
+    let use_rerank = get_u8(buf)? != 0;
+    let use_selection = get_u8(buf)? != 0;
+    let use_feedback = get_u8(buf)? != 0;
+    let naive_chunk_tokens = get_u32(buf)? as usize;
+    Some(SageConfig {
+        segmentation_threshold,
+        coarse_tokens,
+        min_k,
+        gradient,
+        feedback_threshold,
+        max_feedback_rounds,
+        candidates,
+        use_segmentation,
+        use_rerank,
+        use_selection,
+        use_feedback,
+        naive_chunk_tokens,
+    })
+}
+
+impl RagSystem {
+    /// Serialize the built system (without the LLM profile).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        write_config(self.config(), &mut buf);
+        buf.put_u8(match self.retriever_kind() {
+            RetrieverKind::OpenAiSim => 0,
+            RetrieverKind::Sbert => 1,
+            RetrieverKind::Dpr => 2,
+            RetrieverKind::Bm25 => 3,
+        });
+        // Chunk store.
+        buf.put_u32_le(self.chunks().len() as u32);
+        for chunk in self.chunks() {
+            put_string(&mut buf, chunk);
+        }
+        // Dense state: embedder + index blob (skipped for BM25, which
+        // rebuilds from the chunk store on load).
+        match self.dense_state() {
+            Some((embedder_bytes, index)) => {
+                buf.put_u8(1);
+                buf.put_u32_le(embedder_bytes.len() as u32);
+                buf.put_slice(&embedder_bytes);
+                let blob = index.to_bytes();
+                buf.put_u32_le(blob.len() as u32);
+                buf.put_slice(&blob);
+            }
+            None => buf.put_u8(0),
+        }
+        // Fitted scorer.
+        match self.scorer_ref() {
+            Some(scorer) => {
+                buf.put_u8(1);
+                scorer.write(&mut buf);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize a system saved by [`RagSystem::to_bytes`], binding it to
+    /// the given reader profile.
+    pub fn from_bytes(mut bytes: Bytes, profile: LlmProfile) -> Option<Self> {
+        if bytes.remaining() < 8 || &bytes.split_to(8)[..] != MAGIC {
+            return None;
+        }
+        let config = read_config(&mut bytes)?;
+        let kind = match get_u8(&mut bytes)? {
+            0 => RetrieverKind::OpenAiSim,
+            1 => RetrieverKind::Sbert,
+            2 => RetrieverKind::Dpr,
+            3 => RetrieverKind::Bm25,
+            _ => return None,
+        };
+        let n = get_u32(&mut bytes)? as usize;
+        let mut chunks = Vec::with_capacity(n);
+        for _ in 0..n {
+            chunks.push(get_string(&mut bytes)?);
+        }
+        let retriever: AnyRetriever = if get_u8(&mut bytes)? == 1 {
+            let elen = get_u32(&mut bytes)? as usize;
+            if bytes.remaining() < elen {
+                return None;
+            }
+            let mut embedder_bytes = bytes.split_to(elen);
+            let ilen = get_u32(&mut bytes)? as usize;
+            if bytes.remaining() < ilen {
+                return None;
+            }
+            let index = FlatIndex::from_bytes(bytes.split_to(ilen))?;
+            if index.len() != chunks.len() {
+                return None;
+            }
+            match kind {
+                RetrieverKind::OpenAiSim => AnyRetriever::Hashed(DenseRetriever::from_parts(
+                    HashedEmbedder::read(&mut embedder_bytes)?,
+                    index,
+                )),
+                RetrieverKind::Sbert => AnyRetriever::Sbert(DenseRetriever::from_parts(
+                    SiameseEncoder::read(&mut embedder_bytes)?,
+                    index,
+                )),
+                RetrieverKind::Dpr => AnyRetriever::Dpr(DenseRetriever::from_parts(
+                    DualEncoder::read(&mut embedder_bytes)?,
+                    index,
+                )),
+                RetrieverKind::Bm25 => return None,
+            }
+        } else {
+            if kind != RetrieverKind::Bm25 {
+                return None;
+            }
+            let mut bm25 = Bm25Retriever::new();
+            bm25.index(&chunks);
+            AnyRetriever::Bm25(bm25)
+        };
+        let scorer = if get_u8(&mut bytes)? == 1 {
+            Some(CrossScorer::read(&mut bytes)?)
+        } else {
+            None
+        };
+        if bytes.has_remaining() {
+            return None;
+        }
+        Some(RagSystem::from_parts(config, kind, chunks, retriever, scorer, profile))
+    }
+
+    /// Save the built system to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Load a system from a file saved by [`RagSystem::save`].
+    pub fn load(path: &std::path::Path, profile: LlmProfile) -> std::io::Result<Self> {
+        let raw = std::fs::read(path)?;
+        Self::from_bytes(Bytes::from(raw), profile).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed SAGE system file")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{TrainBudget, TrainedModels};
+    use std::sync::OnceLock;
+
+    fn models() -> &'static TrainedModels {
+        static M: OnceLock<TrainedModels> = OnceLock::new();
+        M.get_or_init(|| TrainedModels::train(TrainBudget::tiny()))
+    }
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "Whiskers is a playful tabby cat. He has bright green eyes.\n\
+             Dorinwick was well known in the region. He lives in Ashford.\n\
+             The fog settled over the valley, as it had for many years."
+                .to_string(),
+        ]
+    }
+
+    fn roundtrip(kind: RetrieverKind) {
+        let original = RagSystem::build(
+            models(),
+            kind,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &corpus(),
+        );
+        let back = RagSystem::from_bytes(original.to_bytes(), LlmProfile::gpt4o_mini())
+            .unwrap_or_else(|| panic!("{kind:?} roundtrip failed"));
+        assert_eq!(original.chunks(), back.chunks());
+        let q = "What is the color of Whiskers's eyes?";
+        let a = original.answer_open(q);
+        let b = back.answer_open(q);
+        assert_eq!(a.answer.text, b.answer.text, "{kind:?} answers must match");
+        assert_eq!(a.selected, b.selected, "{kind:?} selections must match");
+    }
+
+    #[test]
+    fn roundtrip_every_retriever_kind() {
+        for kind in RetrieverKind::all() {
+            roundtrip(kind);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let system = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4(),
+            &corpus(),
+        );
+        let path = std::env::temp_dir().join("sage_system_test.bin");
+        system.save(&path).expect("save");
+        let back = RagSystem::load(&path, LlmProfile::gpt4()).expect("load");
+        assert_eq!(system.chunks().len(), back.chunks().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_is_a_load_time_choice() {
+        // Same saved corpus, different readers: both answer, and the
+        // stronger profile's confidence is at least as high.
+        let system = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4(),
+            &corpus(),
+        );
+        let blob = system.to_bytes();
+        let strong = RagSystem::from_bytes(blob.clone(), LlmProfile::gpt4()).unwrap();
+        let weak = RagSystem::from_bytes(blob, LlmProfile::unifiedqa_3b()).unwrap();
+        let q = "Where does Dorinwick live?";
+        assert!(strong.answer_open(q).answer.text.contains("ashford"));
+        assert!(!weak.answer_open(q).answer.text.is_empty());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(RagSystem::from_bytes(Bytes::from_static(b"junk"), LlmProfile::gpt4()).is_none());
+        assert!(
+            RagSystem::from_bytes(Bytes::from_static(b"SAGESYS1x"), LlmProfile::gpt4()).is_none()
+        );
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let cfg = SageConfig { min_k: 3, gradient: 0.42, use_feedback: false, ..SageConfig::sage() };
+        let mut buf = BytesMut::new();
+        write_config(&cfg, &mut buf);
+        let back = read_config(&mut buf.freeze()).expect("config");
+        assert_eq!(cfg, back);
+    }
+}

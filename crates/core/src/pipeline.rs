@@ -1,0 +1,629 @@
+//! The SAGE pipeline (paper Figure 2): build (segment → embed → index) and
+//! query (retrieve → rerank → gradient-select → generate → self-feedback).
+
+use crate::config::{RetrieverKind, SageConfig};
+use crate::models::TrainedModels;
+use sage_embed::HashedEmbedder;
+use sage_eval::Cost;
+use sage_llm::{Answer, LlmProfile, SimLlm};
+use sage_rerank::{gradient_select, CrossScorer, RankedChunk, SelectionConfig};
+use sage_embed::{DualEncoder, SiameseEncoder};
+use sage_retrieval::{Bm25Retriever, DenseRetriever, Retriever, ScoredChunk};
+use sage_segment::{Segmenter, SemanticSegmenter, SentenceSegmenter};
+use sage_vecdb::FlatIndex;
+use std::time::{Duration, Instant};
+
+/// Offline build statistics (the left half of Tables VIII/IX).
+#[derive(Debug, Clone, Copy)]
+pub struct BuildStats {
+    /// Number of chunks produced by segmentation.
+    pub chunk_count: usize,
+    /// Wall-clock time spent segmenting the corpus.
+    pub segmentation_time: Duration,
+    /// Wall-clock time spent building the retrieval index.
+    pub index_time: Duration,
+    /// Corpus size in (estimated) LLM tokens.
+    pub corpus_tokens: usize,
+    /// Approximate resident memory: index structures + chunk text.
+    pub memory_bytes: usize,
+}
+
+/// Everything a single question produced.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The final answer (text, confidence, per-call cost of the *final*
+    /// generation call).
+    pub answer: Answer,
+    /// Chosen option index for multiple-choice questions.
+    pub picked_option: Option<usize>,
+    /// Chunk ids (into [`RagSystem::chunks`]) used as the final context.
+    pub selected: Vec<usize>,
+    /// Total token cost across all generation + feedback calls.
+    pub cost: Cost,
+    /// Number of feedback rounds executed (0 when feedback is off).
+    pub feedback_rounds: usize,
+    /// Measured retrieval + rerank wall-clock latency.
+    pub retrieval_latency: Duration,
+    /// Simulated LLM generation latency (summed over rounds).
+    pub answer_latency: Duration,
+    /// Simulated feedback-call latency (summed over rounds).
+    pub feedback_latency: Duration,
+    /// Feedback score of the returned answer, when feedback ran.
+    pub feedback_score: Option<u8>,
+}
+
+/// The concrete retriever variants a [`RagSystem`] can hold. A closed enum
+/// (rather than `Box<dyn Retriever>`) so built systems can be persisted —
+/// each variant knows how to serialize itself.
+pub enum AnyRetriever {
+    /// OpenAI-analog hashed encoder + flat index.
+    Hashed(DenseRetriever<sage_embed::HashedEmbedder, FlatIndex>),
+    /// SBERT-analog siamese encoder + flat index.
+    Sbert(DenseRetriever<SiameseEncoder, FlatIndex>),
+    /// DPR-analog dual encoder + flat index.
+    Dpr(DenseRetriever<DualEncoder, FlatIndex>),
+    /// BM25 inverted index.
+    Bm25(Bm25Retriever),
+}
+
+impl AnyRetriever {
+    fn as_dyn(&self) -> &dyn Retriever {
+        match self {
+            AnyRetriever::Hashed(r) => r,
+            AnyRetriever::Sbert(r) => r,
+            AnyRetriever::Dpr(r) => r,
+            AnyRetriever::Bm25(r) => r,
+        }
+    }
+
+    fn index_chunks(&mut self, chunks: &[String]) {
+        match self {
+            AnyRetriever::Hashed(r) => r.index(chunks),
+            AnyRetriever::Sbert(r) => r.index(chunks),
+            AnyRetriever::Dpr(r) => r.index(chunks),
+            AnyRetriever::Bm25(r) => r.index(chunks),
+        }
+    }
+
+    fn retrieve(&self, query: &str, n: usize) -> Vec<ScoredChunk> {
+        self.as_dyn().retrieve(query, n)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.as_dyn().memory_bytes()
+    }
+
+    /// Persistence hook: (embedder blob, flat-index ref) for dense
+    /// variants; `None` for BM25 (which rebuilds from the chunk store).
+    pub(crate) fn dense_state(&self) -> Option<(bytes::Bytes, &FlatIndex)> {
+        use sage_nn::BytesSerialize;
+        match self {
+            AnyRetriever::Hashed(r) => Some((r.embedder().to_bytes(), r.index_ref())),
+            AnyRetriever::Sbert(r) => Some((r.embedder().to_bytes(), r.index_ref())),
+            AnyRetriever::Dpr(r) => Some((r.embedder().to_bytes(), r.index_ref())),
+            AnyRetriever::Bm25(_) => None,
+        }
+    }
+}
+
+/// A built RAG system over one corpus.
+pub struct RagSystem {
+    config: SageConfig,
+    kind: RetrieverKind,
+    chunks: Vec<String>,
+    retriever: AnyRetriever,
+    scorer: Option<CrossScorer>,
+    llm: SimLlm,
+    stats: BuildStats,
+}
+
+impl RagSystem {
+    /// Build a system over `corpus` (one string per document; documents
+    /// use `'\n'` between paragraphs).
+    pub fn build(
+        models: &TrainedModels,
+        kind: RetrieverKind,
+        config: SageConfig,
+        profile: LlmProfile,
+        corpus: &[String],
+    ) -> Self {
+        // 1. Segmentation (Figure 2 (A) steps 1-2).
+        let seg_start = Instant::now();
+        let chunks: Vec<String> = if config.use_segmentation {
+            let segmenter = SemanticSegmenter::with_params(
+                models.segmentation.clone(),
+                config.segmentation_threshold,
+                config.coarse_tokens,
+            );
+            corpus.iter().flat_map(|doc| segmenter.segment(doc)).collect()
+        } else {
+            let segmenter = SentenceSegmenter { max_tokens: config.naive_chunk_tokens };
+            corpus.iter().flat_map(|doc| segmenter.segment(doc)).collect()
+        };
+        let segmentation_time = seg_start.elapsed();
+
+        // 2. Index construction (steps 3-4).
+        let index_start = Instant::now();
+        let mut retriever = match kind {
+            RetrieverKind::Bm25 => AnyRetriever::Bm25(Bm25Retriever::new()),
+            RetrieverKind::OpenAiSim => AnyRetriever::Hashed(DenseRetriever::new(
+                HashedEmbedder::default_model(),
+                FlatIndex::cosine(),
+            )),
+            RetrieverKind::Sbert => AnyRetriever::Sbert(DenseRetriever::new(
+                models.siamese.clone(),
+                FlatIndex::cosine(),
+            )),
+            RetrieverKind::Dpr => AnyRetriever::Dpr(DenseRetriever::new(
+                models.dual.clone(),
+                FlatIndex::cosine(),
+            )),
+        };
+        retriever.index_chunks(&chunks);
+        let index_time = index_start.elapsed();
+
+        // 3. Reranker with corpus IDF (needed for reranking or selection).
+        let scorer = if config.use_rerank || config.use_selection {
+            let mut s = models.scorer.clone();
+            s.fit_idf(&chunks);
+            Some(s)
+        } else {
+            None
+        };
+
+        let corpus_tokens = corpus.iter().map(|d| sage_text::count_tokens(d)).sum();
+        let memory_bytes = retriever.memory_bytes()
+            + chunks.iter().map(|c| c.capacity()).sum::<usize>();
+        let stats = BuildStats {
+            chunk_count: chunks.len(),
+            segmentation_time,
+            index_time,
+            corpus_tokens,
+            memory_bytes,
+        };
+        Self { config, kind, chunks, retriever, scorer, llm: SimLlm::new(profile), stats }
+    }
+
+    /// Incrementally add documents to a built system: new text is
+    /// segmented with the same strategy, appended to the chunk store,
+    /// indexed (dense indexes extend in place; BM25 rebuilds its postings,
+    /// which costs milliseconds), and the reranker's IDF is refitted.
+    pub fn add_documents(&mut self, models: &TrainedModels, corpus: &[String]) {
+        let new_chunks: Vec<String> = if self.config.use_segmentation {
+            let segmenter = SemanticSegmenter::with_params(
+                models.segmentation.clone(),
+                self.config.segmentation_threshold,
+                self.config.coarse_tokens,
+            );
+            corpus.iter().flat_map(|doc| segmenter.segment(doc)).collect()
+        } else {
+            let segmenter = SentenceSegmenter { max_tokens: self.config.naive_chunk_tokens };
+            corpus.iter().flat_map(|doc| segmenter.segment(doc)).collect()
+        };
+        self.chunks.extend(new_chunks);
+        // Dense indexes append; BM25 rebuilds.
+        self.retriever.index_chunks(&self.chunks);
+        if let Some(scorer) = &mut self.scorer {
+            scorer.fit_idf(&self.chunks);
+        }
+        self.stats.chunk_count = self.chunks.len();
+        self.stats.corpus_tokens += corpus.iter().map(|d| sage_text::count_tokens(d)).sum::<usize>();
+        self.stats.memory_bytes = self.retriever.memory_bytes()
+            + self.chunks.iter().map(|c| c.capacity()).sum::<usize>();
+    }
+
+    /// Answer many open-ended questions with `workers` threads. Results
+    /// align with the input order; answers are identical to serial calls
+    /// (the reader is deterministic per question).
+    pub fn answer_batch(&self, questions: &[String], workers: usize) -> Vec<QueryResult> {
+        if questions.is_empty() {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, questions.len());
+        let mut results: Vec<Option<QueryResult>> = (0..questions.len()).map(|_| None).collect();
+        let indexed: Vec<(usize, &String)> = questions.iter().enumerate().collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let mine: Vec<(usize, &String)> =
+                    indexed.iter().skip(w).step_by(workers).copied().collect();
+                handles.push(s.spawn(move || {
+                    mine.into_iter().map(|(i, q)| (i, self.answer_open(q))).collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (i, r) in h.join().expect("answer worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("all questions answered")).collect()
+    }
+
+    /// The retriever kind this system was built with.
+    pub fn retriever_kind(&self) -> RetrieverKind {
+        self.kind
+    }
+
+    /// Persistence hook for `persist.rs`.
+    pub(crate) fn dense_state(&self) -> Option<(bytes::Bytes, &FlatIndex)> {
+        self.retriever.dense_state()
+    }
+
+    /// The fitted reranker, if any (persistence hook).
+    pub(crate) fn scorer_ref(&self) -> Option<&CrossScorer> {
+        self.scorer.as_ref()
+    }
+
+    /// Reassemble a system from persisted parts (no re-segmentation, no
+    /// re-indexing). Build stats report zero offline time and current
+    /// memory.
+    pub(crate) fn from_parts(
+        config: SageConfig,
+        kind: RetrieverKind,
+        chunks: Vec<String>,
+        retriever: AnyRetriever,
+        scorer: Option<CrossScorer>,
+        profile: LlmProfile,
+    ) -> Self {
+        let corpus_tokens = chunks.iter().map(|c| sage_text::count_tokens(c)).sum();
+        let memory_bytes =
+            retriever.memory_bytes() + chunks.iter().map(|c| c.capacity()).sum::<usize>();
+        let stats = BuildStats {
+            chunk_count: chunks.len(),
+            segmentation_time: Duration::ZERO,
+            index_time: Duration::ZERO,
+            corpus_tokens,
+            memory_bytes,
+        };
+        Self { config, kind, chunks, retriever, scorer, llm: SimLlm::new(profile), stats }
+    }
+
+    /// The chunk store.
+    pub fn chunks(&self) -> &[String] {
+        &self.chunks
+    }
+
+    /// Offline build statistics.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SageConfig {
+        &self.config
+    }
+
+    /// The underlying reader.
+    pub fn llm(&self) -> &SimLlm {
+        &self.llm
+    }
+
+    /// Retrieve + rerank once; returns (candidate chunk ids, ranked list
+    /// over candidate positions).
+    fn retrieve_ranked(&self, question: &str) -> (Vec<usize>, Vec<RankedChunk>) {
+        let hits = self.retriever.retrieve(question, self.config.candidates);
+        let cand_ids: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        let ranked = match &self.scorer {
+            Some(scorer) => {
+                let texts: Vec<&str> = cand_ids.iter().map(|&i| self.chunks[i].as_str()).collect();
+                scorer.rerank(question, &texts)
+            }
+            None => hits
+                .iter()
+                .enumerate()
+                .map(|(pos, h)| RankedChunk { index: pos, score: h.score })
+                .collect(),
+        };
+        (cand_ids, ranked)
+    }
+
+    /// Select the context for the current `min_k` (Algorithm 2 when
+    /// selection is on, fixed top-K otherwise).
+    fn select(&self, ranked: &[RankedChunk], min_k: usize) -> Vec<usize> {
+        if self.config.use_selection {
+            let cfg = SelectionConfig {
+                min_k,
+                gradient: self.config.gradient,
+                max_k: self.config.candidates,
+                ..SelectionConfig::default()
+            };
+            gradient_select(ranked, cfg).iter().map(|r| r.index).collect()
+        } else {
+            ranked.iter().take(min_k.max(1)).map(|r| r.index).collect()
+        }
+    }
+
+    /// The sorted relevance scores of the question's candidates — the
+    /// Figure-5 curve. Uses the reranker when present, otherwise the
+    /// retriever's own scores.
+    pub fn rerank_scores(&self, question: &str) -> Vec<f32> {
+        let (_, ranked) = self.retrieve_ranked(question);
+        ranked.iter().map(|r| r.score).collect()
+    }
+
+    /// First-stage + rerank for a question: `(candidate chunk ids, ranked
+    /// list over candidate positions)`. Lets callers plug in custom chunk
+    /// selection (e.g. the flexible selector of the paper's future work)
+    /// and then answer via [`RagSystem::answer_with_chunks`].
+    pub fn candidates(&self, question: &str) -> (Vec<usize>, Vec<RankedChunk>) {
+        self.retrieve_ranked(question)
+    }
+
+    /// One generation call over an explicit set of chunk ids (no selection,
+    /// no feedback loop). `options` switches to multiple-choice mode.
+    pub fn answer_with_chunks(
+        &self,
+        question: &str,
+        chunk_ids: &[usize],
+        options: Option<&[String]>,
+    ) -> QueryResult {
+        let context: Vec<String> = chunk_ids.iter().map(|&id| self.chunks[id].clone()).collect();
+        let (picked, answer) = match options {
+            Some(opts) => {
+                let (idx, a) = self.llm.answer_multiple_choice(question, opts, &context);
+                (Some(idx), a)
+            }
+            None => (None, self.llm.answer_open(question, &context)),
+        };
+        let mut cost = Cost::zero();
+        cost.merge(answer.cost);
+        QueryResult {
+            answer_latency: answer.latency,
+            answer,
+            picked_option: picked,
+            selected: chunk_ids.to_vec(),
+            cost,
+            feedback_rounds: 0,
+            retrieval_latency: Duration::ZERO,
+            feedback_latency: Duration::ZERO,
+            feedback_score: None,
+        }
+    }
+
+    /// Answer an open-ended question.
+    pub fn answer_open(&self, question: &str) -> QueryResult {
+        self.run(question, None)
+    }
+
+    /// Answer a multiple-choice question.
+    pub fn answer_multiple_choice(&self, question: &str, options: &[String]) -> QueryResult {
+        self.run(question, Some(options))
+    }
+
+    /// The Figure-2 query loop.
+    fn run(&self, question: &str, options: Option<&[String]>) -> QueryResult {
+        let retrieval_start = Instant::now();
+        let (cand_ids, ranked) = self.retrieve_ranked(question);
+        let retrieval_latency = retrieval_start.elapsed();
+
+        let mut min_k = self.config.min_k;
+        let mut total_cost = Cost::zero();
+        let mut answer_latency = Duration::ZERO;
+        let mut feedback_latency = Duration::ZERO;
+        let rounds = if self.config.use_feedback { self.config.max_feedback_rounds } else { 1 };
+
+        // Track the best round by feedback score; without feedback the
+        // single round wins by construction.
+        let mut best: Option<(u8, Answer, Option<usize>, Vec<usize>)> = None;
+        let mut executed_feedback = 0usize;
+        let mut last_selection: Option<Vec<usize>> = None;
+
+        for round in 0..rounds {
+            let selected_positions = self.select(&ranked, min_k);
+            // The reader is deterministic: re-running with an identical
+            // context reproduces the same answer and judgement, so a round
+            // whose adjusted min_k selects the same chunks is pure token
+            // waste — stop the loop instead.
+            if last_selection.as_deref() == Some(&selected_positions) {
+                break;
+            }
+            last_selection = Some(selected_positions.clone());
+            let selected: Vec<usize> =
+                selected_positions.iter().map(|&pos| cand_ids[pos]).collect();
+            let context: Vec<String> =
+                selected.iter().map(|&id| self.chunks[id].clone()).collect();
+
+            let (picked, answer) = match options {
+                Some(opts) => {
+                    let (idx, a) = self.llm.answer_multiple_choice(question, opts, &context);
+                    (Some(idx), a)
+                }
+                None => (None, self.llm.answer_open(question, &context)),
+            };
+            total_cost.merge(answer.cost);
+            answer_latency += answer.latency;
+
+            if !self.config.use_feedback {
+                return QueryResult {
+                    answer,
+                    picked_option: picked,
+                    selected,
+                    cost: total_cost,
+                    feedback_rounds: 0,
+                    retrieval_latency,
+                    answer_latency,
+                    feedback_latency,
+                    feedback_score: None,
+                };
+            }
+
+            let fb = self.llm.self_feedback(question, &context, &answer);
+            executed_feedback += 1;
+            total_cost.merge(fb.cost);
+            feedback_latency += fb.latency;
+
+            let better = best.as_ref().is_none_or(|(s, ..)| fb.score > *s);
+            if better {
+                best = Some((fb.score, answer, picked, selected));
+            }
+            if fb.score >= self.config.feedback_threshold || round + 1 == rounds {
+                break;
+            }
+            // Adjust min_k per the judge's context assessment (Figure 2
+            // (C) step 6): -1 drops a chunk, +1 requests one more.
+            let next = min_k as i64 + i64::from(fb.adjustment);
+            min_k = next.clamp(1, self.config.candidates as i64) as usize;
+        }
+
+        let (score, answer, picked, selected) = best.expect("at least one round ran");
+        QueryResult {
+            answer,
+            picked_option: picked,
+            selected,
+            cost: total_cost,
+            feedback_rounds: executed_feedback,
+            retrieval_latency,
+            answer_latency,
+            feedback_latency,
+            feedback_score: Some(score),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{TrainBudget, TrainedModels};
+    use std::sync::OnceLock;
+
+    fn models() -> &'static TrainedModels {
+        static M: OnceLock<TrainedModels> = OnceLock::new();
+        M.get_or_init(|| TrainedModels::train(TrainBudget::tiny()))
+    }
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "Whiskers is a playful tabby cat. He has bright green eyes. His fur is mostly gray.\n\
+             The morning fog settled over the valley, as it had for many years.\n\
+             Patchy is a ferret with a stubborn streak. Patchy has bright orange eyes.\n\
+             Dorinwick was well known in the region. He lives in Ashford. He works as a baker."
+                .to_string(),
+        ]
+    }
+
+    #[test]
+    fn sage_answers_open_question() {
+        let sys = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &corpus(),
+        );
+        assert!(sys.build_stats().chunk_count > 1);
+        let r = sys.answer_open("What is the color of Whiskers's eyes?");
+        assert!(r.answer.text.contains("green"), "got {:?}", r.answer.text);
+        assert!(!r.selected.is_empty());
+        assert!(r.cost.input_tokens > 0);
+        assert!(r.feedback_rounds >= 1);
+        assert!(r.feedback_score.is_some());
+    }
+
+    #[test]
+    fn naive_rag_answers_without_feedback() {
+        let sys = RagSystem::build(
+            models(),
+            RetrieverKind::Bm25,
+            SageConfig::naive_rag(),
+            LlmProfile::gpt4o_mini(),
+            &corpus(),
+        );
+        let r = sys.answer_open("Where does Dorinwick live?");
+        assert_eq!(r.feedback_rounds, 0);
+        assert!(r.feedback_score.is_none());
+        assert!(r.answer.text.contains("ashford"), "got {:?}", r.answer.text);
+    }
+
+    #[test]
+    fn multiple_choice_path() {
+        let sys = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4(),
+            &corpus(),
+        );
+        let options: Vec<String> =
+            ["orange", "green", "violet", "gray"].iter().map(|s| s.to_string()).collect();
+        let r = sys.answer_multiple_choice("What is the color of Whiskers's eyes?", &options);
+        assert_eq!(r.picked_option, Some(1), "answer {:?}", r.answer.text);
+    }
+
+    #[test]
+    fn sage_uses_fewer_context_tokens_than_naive() {
+        // Table XI's mechanism: semantic chunks + selection shrink the
+        // generation input. Needs a realistically sized document — on a
+        // tiny corpus both methods retrieve everything.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sage_corpus::document::{generate_document, DocSpec};
+        let mut rng = StdRng::seed_from_u64(404);
+        let spec = DocSpec {
+            num_entities: 16,
+            facts_per_entity: 4,
+            multi_fact_count: 5,
+            filler_paragraphs: 16,
+            pronoun_prob: 0.6,
+        };
+        let doc = generate_document(0, &spec, &mut rng).document;
+        let big_corpus = vec![doc.text()];
+        let sage = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig { use_feedback: false, ..SageConfig::sage() },
+            LlmProfile::gpt4o_mini(),
+            &big_corpus,
+        );
+        let naive = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::naive_rag(),
+            LlmProfile::gpt4o_mini(),
+            &big_corpus,
+        );
+        let q = "What is the color of Whiskers's eyes?";
+        let rs = sage.answer_open(q);
+        let rn = naive.answer_open(q);
+        assert!(
+            rs.answer.cost.input_tokens < rn.answer.cost.input_tokens,
+            "sage {} vs naive {}",
+            rs.answer.cost.input_tokens,
+            rn.answer.cost.input_tokens
+        );
+    }
+
+    #[test]
+    fn build_stats_populated() {
+        let sys = RagSystem::build(
+            models(),
+            RetrieverKind::Sbert,
+            SageConfig::sage(),
+            LlmProfile::unifiedqa_3b(),
+            &corpus(),
+        );
+        let s = sys.build_stats();
+        assert!(s.corpus_tokens > 0);
+        assert!(s.memory_bytes > 0);
+        assert!(s.chunk_count > 0);
+        assert_eq!(
+            s.chunk_count,
+            sys.chunks().len(),
+        );
+    }
+
+    #[test]
+    fn all_retriever_kinds_build() {
+        for kind in RetrieverKind::all() {
+            let sys = RagSystem::build(
+                models(),
+                kind,
+                SageConfig::sage(),
+                LlmProfile::gpt4o_mini(),
+                &corpus(),
+            );
+            let r = sys.answer_open("Where does Dorinwick live?");
+            assert!(!r.selected.is_empty(), "{kind:?} selected nothing");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Dataset generators — one module per paper dataset analog.
+//!
+//! | Module | Paper dataset | Shape |
+//! |---|---|---|
+//! | [`quality`] | QuALITY | long stories, multiple-choice + hard elimination subset |
+//! | [`qasper`] | QASPER | "papers" with title/abstract, factoid + unanswerable |
+//! | [`narrativeqa`] | NarrativeQA | long narratives, free-form answers |
+//! | [`triviaqa`] | TriviaQA | large corpus of short evidence docs |
+//! | [`wiki`] | Wikipedia dump | paragraph-structured docs for Algorithm 1 |
+
+pub mod narrativeqa;
+pub mod qasper;
+pub mod quality;
+pub mod triviaqa;
+pub mod wiki;
+
+/// Shared size knobs for dataset generation.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeConfig {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Questions generated per document (best effort; some kinds may yield
+    /// fewer when a document lacks material).
+    pub questions_per_doc: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SizeConfig {
+    fn default() -> Self {
+        Self { num_docs: 20, questions_per_doc: 4, seed: 0x5A6E }
+    }
+}
+
+/// A small preset for fast unit tests.
+pub fn tiny() -> SizeConfig {
+    SizeConfig { num_docs: 4, questions_per_doc: 2, seed: 7 }
+}

@@ -1,0 +1,67 @@
+//! Wikipedia analog for Algorithm 1: documents whose *paragraph structure*
+//! is the training signal. "Typically, sentences that are closely related
+//! appear within the same paragraph consecutively, whereas unrelated
+//! sentences are found in separate paragraphs" (paper §IV-C) — exactly the
+//! property our generator guarantees by construction.
+
+use super::SizeConfig;
+use crate::document::{generate_document, Dataset, DocSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Document shape: encyclopedia-like, varied entities, some filler topics.
+fn doc_spec() -> DocSpec {
+    DocSpec {
+        num_entities: 6,
+        facts_per_entity: 4,
+        multi_fact_count: 4,
+        filler_paragraphs: 5,
+        pronoun_prob: 0.6,
+    }
+}
+
+/// Generate the Wikipedia-analog corpus (documents only; questions are not
+/// needed for segmentation training).
+pub fn generate(cfg: SizeConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let documents = (0..cfg.num_docs)
+        .map(|doc_id| generate_document(doc_id, &doc_spec(), &mut rng).document)
+        .collect();
+    Dataset { name: "wiki", documents, tasks: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::tiny;
+    use crate::training::segmentation_pairs;
+
+    #[test]
+    fn yields_balanced_segmentation_pairs() {
+        let ds = generate(tiny());
+        let pairs = segmentation_pairs(&ds.documents, 0, 1);
+        let pos = pairs.iter().filter(|p| p.2 == 1.0).count();
+        let neg = pairs.iter().filter(|p| p.2 == 0.0).count();
+        assert!(pos >= 20, "positives: {pos}");
+        assert!(neg >= 10, "negatives: {neg}");
+    }
+
+    #[test]
+    fn has_no_tasks() {
+        let ds = generate(tiny());
+        assert!(ds.tasks.is_empty());
+        assert_eq!(ds.documents.len(), 4);
+    }
+
+    #[test]
+    fn paragraphs_have_multiple_sentences() {
+        let ds = generate(tiny());
+        let multi = ds
+            .documents
+            .iter()
+            .flat_map(|d| &d.paragraphs)
+            .filter(|p| sage_text::split_sentences(p).len() >= 2)
+            .count();
+        assert!(multi > 10, "need multi-sentence paragraphs for positive pairs");
+    }
+}

@@ -1,0 +1,124 @@
+//! A corpus-fitted TF-IDF encoder, hashed into a dense vector.
+//!
+//! Not one of the paper's four retrievers, but used as (a) a feature source
+//! for the reranker and (b) a cheap corpus-aware baseline in ablation
+//! benches. Fitting collects document frequencies; embedding weighs each
+//! term's hashed contribution by `tf * idf`.
+
+use crate::Embedder;
+use sage_nn::matrix::l2_normalize;
+use sage_text::{hash_token, stem, tokenize, Vocab};
+use std::collections::HashMap;
+
+/// TF-IDF weighted hashed encoder. Create via [`TfIdfEmbedder::fit`].
+#[derive(Debug, Clone)]
+pub struct TfIdfEmbedder {
+    dim: usize,
+    seed: u64,
+    vocab: Vocab,
+}
+
+impl TfIdfEmbedder {
+    /// Fit document frequencies on a corpus of text units (typically the
+    /// chunks that will later be indexed).
+    pub fn fit<S: AsRef<str>>(corpus: &[S], dim: usize, seed: u64) -> Self {
+        assert!(dim > 0);
+        let mut vocab = Vocab::new();
+        for doc in corpus {
+            let ids: Vec<u32> =
+                tokenize(doc.as_ref()).iter().map(|t| vocab.intern(&stem(t))).collect();
+            vocab.record_document(&ids);
+        }
+        Self { dim, seed, vocab }
+    }
+
+    /// Number of fitted documents.
+    pub fn num_docs(&self) -> u32 {
+        self.vocab.num_docs()
+    }
+}
+
+impl Embedder for TfIdfEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let mut counts: HashMap<String, f32> = HashMap::new();
+        for tok in tokenize(text) {
+            *counts.entry(stem(&tok)).or_insert(0.0) += 1.0;
+        }
+        let mut v = vec![0.0f32; self.dim];
+        for (term, tf) in counts {
+            // Unseen terms get the maximum IDF (df = 0 path of Vocab::idf
+            // needs an id; approximate with the most informative weight).
+            let idf = match self.vocab.get(&term) {
+                Some(id) => self.vocab.idf(id),
+                None => (1.0 + (self.vocab.num_docs() as f32 + 0.5) / 0.5).ln(),
+            };
+            let f = hash_token(&term, self.dim, self.seed);
+            v[f.bucket as usize] += f.sign * (1.0 + tf.ln()) * idf;
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    fn name(&self) -> &'static str {
+        "TF-IDF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_nn::matrix::cosine;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "the cat sat on the mat",
+            "the dog chased the cat",
+            "rockets fly to the moon",
+            "the moon orbits the earth",
+            "cats and dogs are pets",
+        ]
+    }
+
+    #[test]
+    fn fit_counts_docs() {
+        let e = TfIdfEmbedder::fit(&corpus(), 128, 0);
+        assert_eq!(e.num_docs(), 5);
+    }
+
+    #[test]
+    fn rare_terms_dominate_common() {
+        let e = TfIdfEmbedder::fit(&corpus(), 256, 0);
+        // "moon" (rare) should make moon-docs more similar to each other
+        // than "the" (ubiquitous) makes unrelated docs.
+        let a = e.embed("rockets fly to the moon");
+        let b = e.embed("the moon orbits the earth");
+        let c = e.embed("the dog chased the cat");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn unit_norm() {
+        let e = TfIdfEmbedder::fit(&corpus(), 64, 1);
+        let v = e.embed("cats chase dogs");
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unseen_terms_still_embed() {
+        let e = TfIdfEmbedder::fit(&corpus(), 64, 1);
+        let v = e.embed("zyzzyva quux");
+        assert!(v.iter().any(|x| *x != 0.0));
+    }
+
+    #[test]
+    fn empty_corpus_and_text_are_safe() {
+        let e = TfIdfEmbedder::fit(&Vec::<String>::new(), 32, 2);
+        let v = e.embed("");
+        assert!(v.iter().all(|x| *x == 0.0));
+    }
+}

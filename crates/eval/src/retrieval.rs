@@ -1,0 +1,116 @@
+//! Retrieval-quality metrics: how well a ranked chunk list covers the gold
+//! evidence, independent of the reader. The paper argues SAGE's gains come
+//! from *retrieval precision* — these metrics let the benches demonstrate
+//! that claim directly against the synthetic corpora's exact ground truth.
+
+/// Whether any of the top-`k` ranked items is relevant (hit rate @ k).
+pub fn hit_rate_at_k(relevant: &[bool], k: usize) -> f32 {
+    f32::from(relevant.iter().take(k).any(|&r| r))
+}
+
+/// Fraction of the top-`k` that is relevant (precision @ k).
+pub fn precision_at_k(relevant: &[bool], k: usize) -> f32 {
+    let k = k.min(relevant.len());
+    if k == 0 {
+        return 0.0;
+    }
+    relevant.iter().take(k).filter(|&&r| r).count() as f32 / k as f32
+}
+
+/// Fraction of all relevant items that appear in the top-`k` (recall @ k).
+/// Returns 1.0 when there are no relevant items (nothing to recall).
+pub fn recall_at_k(relevant: &[bool], k: usize) -> f32 {
+    let total: usize = relevant.iter().filter(|&&r| r).count();
+    if total == 0 {
+        return 1.0;
+    }
+    relevant.iter().take(k).filter(|&&r| r).count() as f32 / total as f32
+}
+
+/// Reciprocal rank of the first relevant item (0 when none).
+pub fn reciprocal_rank(relevant: &[bool]) -> f32 {
+    relevant
+        .iter()
+        .position(|&r| r)
+        .map(|pos| 1.0 / (pos as f32 + 1.0))
+        .unwrap_or(0.0)
+}
+
+/// Normalised discounted cumulative gain at `k` with binary relevance.
+/// Returns 1.0 when there are no relevant items.
+pub fn ndcg_at_k(relevant: &[bool], k: usize) -> f32 {
+    let gain = |pos: usize| 1.0 / ((pos as f32 + 2.0).log2());
+    let dcg: f32 = relevant
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, &r)| r)
+        .map(|(pos, _)| gain(pos))
+        .sum();
+    let total: usize = relevant.iter().filter(|&&r| r).count();
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal: f32 = (0..total.min(k)).map(gain).sum();
+    if ideal == 0.0 {
+        0.0
+    } else {
+        dcg / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERFECT: [bool; 5] = [true, true, false, false, false];
+    const LATE: [bool; 5] = [false, false, false, true, true];
+    const NONE: [bool; 5] = [false; 5];
+
+    #[test]
+    fn hit_rate_basics() {
+        assert_eq!(hit_rate_at_k(&PERFECT, 1), 1.0);
+        assert_eq!(hit_rate_at_k(&LATE, 3), 0.0);
+        assert_eq!(hit_rate_at_k(&LATE, 4), 1.0);
+        assert_eq!(hit_rate_at_k(&NONE, 5), 0.0);
+        assert_eq!(hit_rate_at_k(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn precision_basics() {
+        assert_eq!(precision_at_k(&PERFECT, 2), 1.0);
+        assert_eq!(precision_at_k(&PERFECT, 4), 0.5);
+        assert_eq!(precision_at_k(&NONE, 5), 0.0);
+        assert_eq!(precision_at_k(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn recall_basics() {
+        assert_eq!(recall_at_k(&PERFECT, 1), 0.5);
+        assert_eq!(recall_at_k(&PERFECT, 2), 1.0);
+        assert_eq!(recall_at_k(&LATE, 5), 1.0);
+        assert_eq!(recall_at_k(&NONE, 5), 1.0, "vacuous recall");
+    }
+
+    #[test]
+    fn mrr_basics() {
+        assert_eq!(reciprocal_rank(&PERFECT), 1.0);
+        assert_eq!(reciprocal_rank(&LATE), 0.25);
+        assert_eq!(reciprocal_rank(&NONE), 0.0);
+    }
+
+    #[test]
+    fn ndcg_orders_early_above_late() {
+        let early = ndcg_at_k(&PERFECT, 5);
+        let late = ndcg_at_k(&LATE, 5);
+        assert!((early - 1.0).abs() < 1e-6, "front-loaded ranking is ideal: {early}");
+        assert!(late < early);
+        assert!(late > 0.0);
+        assert_eq!(ndcg_at_k(&NONE, 5), 1.0, "vacuous ndcg");
+    }
+
+    #[test]
+    fn ndcg_monotone_in_k_for_late_relevance() {
+        assert!(ndcg_at_k(&LATE, 3) < ndcg_at_k(&LATE, 5));
+    }
+}

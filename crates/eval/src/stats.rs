@@ -1,0 +1,107 @@
+//! Statistical utilities for experiment reporting: bootstrap confidence
+//! intervals over per-question scores, so table margins can be read
+//! against their sampling noise (most cells in this reproduction have
+//! 40-60 questions).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A mean with a bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f32,
+    /// Lower bound of the interval.
+    pub lo: f32,
+    /// Upper bound of the interval.
+    pub hi: f32,
+}
+
+/// Percentile-bootstrap confidence interval of the mean at the given
+/// `confidence` (e.g. 0.95), with `resamples` draws. Deterministic given
+/// `seed`. Empty input yields all-zero; a single sample collapses the
+/// interval to the point.
+pub fn bootstrap_mean_ci(
+    values: &[f32],
+    confidence: f32,
+    resamples: usize,
+    seed: u64,
+) -> MeanCi {
+    assert!((0.0..1.0).contains(&confidence) || confidence == 0.0 || confidence < 1.0);
+    if values.is_empty() {
+        return MeanCi { mean: 0.0, lo: 0.0, hi: 0.0 };
+    }
+    let mean = values.iter().sum::<f32>() / values.len() as f32;
+    if values.len() == 1 || resamples == 0 {
+        return MeanCi { mean, lo: mean, hi: mean };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means: Vec<f32> = (0..resamples)
+        .map(|_| {
+            let total: f32 =
+                (0..values.len()).map(|_| values[rng.random_range(0..values.len())]).sum();
+            total / values.len() as f32
+        })
+        .collect();
+    means.sort_by(f32::total_cmp);
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f32 * alpha) as usize).min(resamples - 1);
+    let hi_idx = ((resamples as f32 * (1.0 - alpha)) as usize).min(resamples - 1);
+    MeanCi { mean, lo: means[lo_idx], hi: means[hi_idx] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_mean() {
+        let values: Vec<f32> = (0..50).map(|i| (i % 2) as f32).collect();
+        let ci = bootstrap_mean_ci(&values, 0.95, 500, 1);
+        assert!((ci.mean - 0.5).abs() < 1e-6);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        assert!(ci.lo < ci.hi, "varied data must have a nonzero interval");
+    }
+
+    #[test]
+    fn constant_data_collapses() {
+        let values = vec![0.7f32; 30];
+        let ci = bootstrap_mean_ci(&values, 0.95, 200, 2);
+        assert!((ci.lo - 0.7).abs() < 1e-6);
+        assert!((ci.hi - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let values: Vec<f32> = (0..40).map(|i| (i % 5) as f32 / 4.0).collect();
+        let narrow = bootstrap_mean_ci(&values, 0.5, 1000, 3);
+        let wide = bootstrap_mean_ci(&values, 0.99, 1000, 3);
+        assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn more_samples_tighter_interval() {
+        let small: Vec<f32> = (0..10).map(|i| (i % 2) as f32).collect();
+        let large: Vec<f32> = (0..400).map(|i| (i % 2) as f32).collect();
+        let s = bootstrap_mean_ci(&small, 0.95, 800, 4);
+        let l = bootstrap_mean_ci(&large, 0.95, 800, 4);
+        assert!(l.hi - l.lo < s.hi - s.lo);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let empty = bootstrap_mean_ci(&[], 0.95, 100, 5);
+        assert_eq!(empty.mean, 0.0);
+        let single = bootstrap_mean_ci(&[0.42], 0.95, 100, 6);
+        assert_eq!(single.lo, single.hi);
+        assert!((single.mean - 0.42).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let values: Vec<f32> = (0..30).map(|i| i as f32 / 30.0).collect();
+        let a = bootstrap_mean_ci(&values, 0.95, 300, 7);
+        let b = bootstrap_mean_ci(&values, 0.95, 300, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,129 @@
+//! Fine-tuning analog — the paper's future-work direction §X(2):
+//! "Fine-tuning is a simple way to enhance the QA ability of a LLM for a
+//! given corpus. For example, we can generate several batches of
+//! question-answer pairs to fine-tune GPT-3.5-turbo. Then, we might achieve
+//! the same QA performance based on the inexpensive LLM."
+//!
+//! [`fine_tune`] maps a base profile plus a training-set size to an
+//! improved profile with diminishing returns toward a ceiling below the
+//! frontier model, and applies the realistic price bump fine-tuned
+//! endpoints carry (≈3× the base serving price — still far below GPT-4).
+
+use crate::profile::LlmProfile;
+use sage_eval::PriceTable;
+
+/// Quality ceiling a fine-tune can approach (just under the GPT-4 analog's
+/// parameters — domain tuning narrows but does not erase the scale gap).
+const CEILING_RESISTANCE: f32 = 0.93;
+const FLOOR_TEMPERATURE: f32 = 0.16;
+const CEILING_ELIMINATION: f32 = 0.85;
+
+/// Examples at which ~63% of the achievable gain is realised.
+const SATURATION_EXAMPLES: f64 = 800.0;
+
+/// Fine-tune `base` on `qa_pairs` generated question-answer examples.
+///
+/// Deterministic and monotone: more pairs → a stronger profile, with
+/// exponentially diminishing returns. Zero pairs returns the base profile
+/// (with the fine-tuned serving price — uploading a dataset of zero rows is
+/// the caller's mistake, not ours to silently undo).
+pub fn fine_tune(base: LlmProfile, qa_pairs: usize) -> LlmProfile {
+    let gain = 1.0 - (-(qa_pairs as f64) / SATURATION_EXAMPLES).exp();
+    let gain = gain as f32;
+    LlmProfile {
+        name: fine_tuned_name(base.name),
+        prices: PriceTable {
+            input_per_token: base.prices.input_per_token * 3.0,
+            output_per_token: base.prices.output_per_token * 3.0,
+        },
+        distractor_resistance: base.distractor_resistance
+            + (CEILING_RESISTANCE - base.distractor_resistance).max(0.0) * gain,
+        temperature: base.temperature - (base.temperature - FLOOR_TEMPERATURE).max(0.0) * gain,
+        elimination_skill: base.elimination_skill
+            + (CEILING_ELIMINATION - base.elimination_skill).max(0.0) * gain,
+        tokens_per_second: base.tokens_per_second,
+        base_latency_s: base.base_latency_s,
+        answer_threshold: base.answer_threshold.max(0.52),
+    }
+}
+
+fn fine_tuned_name(base: &'static str) -> &'static str {
+    match base {
+        "GPT-3.5-turbo(sim)" => "GPT-3.5-turbo-FT(sim)",
+        "GPT-4o-mini(sim)" => "GPT-4o-mini-FT(sim)",
+        "UnifiedQA-3B(sim)" => "UnifiedQA-3B-FT(sim)",
+        _ => "fine-tuned(sim)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::SimLlm;
+
+    #[test]
+    fn more_data_is_monotone_better() {
+        let base = LlmProfile::gpt35_turbo();
+        let small = fine_tune(base, 100);
+        let large = fine_tune(base, 2000);
+        assert!(small.distractor_resistance > base.distractor_resistance);
+        assert!(large.distractor_resistance > small.distractor_resistance);
+        assert!(large.temperature < small.temperature);
+        assert!(small.temperature < base.temperature);
+        assert!(large.elimination_skill > base.elimination_skill);
+    }
+
+    #[test]
+    fn ceiling_below_gpt4() {
+        let maxed = fine_tune(LlmProfile::gpt35_turbo(), 1_000_000);
+        let gpt4 = LlmProfile::gpt4();
+        assert!(maxed.distractor_resistance < gpt4.distractor_resistance);
+        assert!(maxed.elimination_skill < gpt4.elimination_skill);
+    }
+
+    #[test]
+    fn price_bump_stays_below_gpt4() {
+        let ft = fine_tune(LlmProfile::gpt35_turbo(), 1000);
+        let base = LlmProfile::gpt35_turbo();
+        let gpt4 = LlmProfile::gpt4();
+        assert!(ft.prices.input_per_token > base.prices.input_per_token);
+        assert!(ft.prices.input_per_token < gpt4.prices.input_per_token);
+        assert!(ft.prices.output_per_token < gpt4.prices.output_per_token);
+    }
+
+    #[test]
+    fn name_reflects_fine_tune() {
+        assert_eq!(fine_tune(LlmProfile::gpt35_turbo(), 10).name, "GPT-3.5-turbo-FT(sim)");
+        assert_eq!(fine_tune(LlmProfile::unifiedqa_3b(), 10).name, "UnifiedQA-3B-FT(sim)");
+    }
+
+    #[test]
+    fn fine_tuned_reader_resists_distractors_better() {
+        // Behavioural check: the weak base gets fooled on noisy context
+        // more often than its fine-tuned counterpart.
+        let noisy_context: Vec<String> = {
+            let mut c = vec!["Whiskers is a tabby cat. He has bright green eyes.".to_string()];
+            for name in ["Patchy", "Brone", "Mossy", "Tufty", "Dapple", "Clover"] {
+                c.push(format!("{name} has bright orange eyes."));
+            }
+            c
+        };
+        let count_wrong = |profile: LlmProfile| {
+            let llm = SimLlm::new(profile);
+            (0..40)
+                .filter(|i| {
+                    let q = format!("What is the color of Whiskers{i}'s eyes?");
+                    let mut ctx = noisy_context.clone();
+                    ctx[0] = format!("Whiskers{i} is a tabby cat. He has bright green eyes.");
+                    !llm.answer_open(&q, &ctx).text.contains("green")
+                })
+                .count()
+        };
+        let base_wrong = count_wrong(LlmProfile::unifiedqa_3b());
+        let ft_wrong = count_wrong(fine_tune(LlmProfile::unifiedqa_3b(), 3000));
+        assert!(
+            ft_wrong < base_wrong,
+            "fine-tuned wrong {ft_wrong} should be below base wrong {base_wrong}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Proficiency / pricing / latency presets for the simulated LLMs.
+
+use sage_eval::PriceTable;
+
+/// Behavioural parameters of one simulated LLM.
+///
+/// The four presets are calibrated so the *orderings* the paper reports
+/// hold: GPT-4 > GPT-4o-mini > GPT-3.5-turbo > UnifiedQA-3B in QA quality
+/// (§VIII insight 3, Table XII), with prices and generation speeds taken
+/// from public figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlmProfile {
+    /// Display name for tables.
+    pub name: &'static str,
+    /// API pricing (Eq. 1).
+    pub prices: PriceTable,
+    /// In `[0, 1]`: how strongly entity grounding outweighs mere topical
+    /// overlap. High resistance ⇒ distractor chunks rarely win.
+    pub distractor_resistance: f32,
+    /// Softmax temperature for candidate/option sampling. Lower ⇒ closer
+    /// to argmax ⇒ fewer noise-induced errors.
+    pub temperature: f32,
+    /// In `[0, 1]`: probability the model correctly applies elimination
+    /// reasoning on "which was NOT…" questions.
+    pub elimination_skill: f32,
+    /// Output tokens per second (latency simulation for Tables VIII/IX).
+    pub tokens_per_second: f64,
+    /// Fixed per-call latency overhead in seconds (network + prefill).
+    pub base_latency_s: f64,
+    /// Minimum candidate score below which the model answers
+    /// "unanswerable" instead of guessing.
+    pub answer_threshold: f32,
+}
+
+impl LlmProfile {
+    /// GPT-4 analog: strongest reader, most expensive.
+    pub fn gpt4() -> Self {
+        Self {
+            name: "GPT-4(sim)",
+            prices: PriceTable::gpt4(),
+            distractor_resistance: 0.95,
+            temperature: 0.12,
+            elimination_skill: 0.9,
+            tokens_per_second: 35.0,
+            base_latency_s: 1.6,
+            answer_threshold: 0.55,
+        }
+    }
+
+    /// GPT-4o-mini analog: near-GPT-4 quality at a fraction of the price.
+    pub fn gpt4o_mini() -> Self {
+        Self {
+            name: "GPT-4o-mini(sim)",
+            prices: PriceTable::gpt4o_mini(),
+            distractor_resistance: 0.85,
+            temperature: 0.2,
+            elimination_skill: 0.8,
+            tokens_per_second: 90.0,
+            base_latency_s: 1.4,
+            answer_threshold: 0.55,
+        }
+    }
+
+    /// GPT-3.5-turbo analog: noticeably weaker grounding.
+    pub fn gpt35_turbo() -> Self {
+        Self {
+            name: "GPT-3.5-turbo(sim)",
+            prices: PriceTable::gpt35_turbo(),
+            distractor_resistance: 0.5,
+            temperature: 0.45,
+            elimination_skill: 0.5,
+            tokens_per_second: 70.0,
+            base_latency_s: 1.3,
+            answer_threshold: 0.5,
+        }
+    }
+
+    /// UnifiedQA-3B analog: a small local QA model — free, fast to first
+    /// token, weakest reader.
+    pub fn unifiedqa_3b() -> Self {
+        Self {
+            name: "UnifiedQA-3B(sim)",
+            prices: PriceTable::free(),
+            distractor_resistance: 0.35,
+            temperature: 0.6,
+            elimination_skill: 0.3,
+            tokens_per_second: 60.0,
+            base_latency_s: 0.9,
+            answer_threshold: 0.45,
+        }
+    }
+
+    /// Entity-grounding weight used by the reader's sentence scoring.
+    pub fn entity_weight(&self) -> f32 {
+        1.0 + 2.0 * self.distractor_resistance
+    }
+
+    /// Simulated wall-clock latency for a call emitting `output_tokens`.
+    pub fn call_latency(&self, output_tokens: usize) -> std::time::Duration {
+        let secs = self.base_latency_s + output_tokens as f64 / self.tokens_per_second;
+        std::time::Duration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proficiency_ordering() {
+        let g4 = LlmProfile::gpt4();
+        let mini = LlmProfile::gpt4o_mini();
+        let g35 = LlmProfile::gpt35_turbo();
+        let uq = LlmProfile::unifiedqa_3b();
+        assert!(g4.distractor_resistance > mini.distractor_resistance);
+        assert!(mini.distractor_resistance > g35.distractor_resistance);
+        assert!(g35.distractor_resistance > uq.distractor_resistance);
+        assert!(g4.temperature < mini.temperature);
+        assert!(mini.temperature < g35.temperature);
+        assert!(g35.temperature < uq.temperature);
+        assert!(g4.elimination_skill > uq.elimination_skill);
+    }
+
+    #[test]
+    fn price_ordering() {
+        let cost = |p: PriceTable| p.input_per_token;
+        assert!(cost(LlmProfile::gpt4().prices) > cost(LlmProfile::gpt35_turbo().prices));
+        assert!(
+            cost(LlmProfile::gpt35_turbo().prices) > cost(LlmProfile::gpt4o_mini().prices)
+        );
+        assert_eq!(cost(LlmProfile::unifiedqa_3b().prices), 0.0);
+    }
+
+    #[test]
+    fn latency_grows_with_output() {
+        let p = LlmProfile::gpt4o_mini();
+        assert!(p.call_latency(100) > p.call_latency(10));
+        assert!(p.call_latency(0).as_secs_f64() >= p.base_latency_s);
+    }
+
+    #[test]
+    fn entity_weight_monotone_in_resistance() {
+        assert!(LlmProfile::gpt4().entity_weight() > LlmProfile::unifiedqa_3b().entity_weight());
+    }
+}

@@ -1,0 +1,80 @@
+//! Prompt assembly (paper §III-C step 1: "we craft a prompt incorporating
+//! both the question and the retrieved chunks, tailored to the question's
+//! type — be it multiple-choice or open-ended").
+//!
+//! The prompts exist so token accounting is honest: the simulated reader
+//! does not parse them (it receives structured arguments), but every call's
+//! input-token count is computed from the exact prompt string an API-based
+//! RAG system would send.
+
+use sage_text::count_tokens;
+
+/// Fixed instruction overhead included in every call's token count.
+pub const PROMPT_OVERHEAD_TOKENS: usize = 40;
+
+/// Open-ended QA prompt.
+pub fn open_prompt(question: &str, context: &[String]) -> String {
+    let mut p = String::with_capacity(256 + context.iter().map(String::len).sum::<usize>());
+    p.push_str(
+        "Answer the question using only the context below. \
+         If the context does not contain the answer, reply \"unanswerable\".\n\nContext:\n",
+    );
+    for (i, chunk) in context.iter().enumerate() {
+        p.push_str(&format!("[{}] {}\n", i + 1, chunk));
+    }
+    p.push_str("\nQuestion: ");
+    p.push_str(question);
+    p.push_str("\nAnswer:");
+    p
+}
+
+/// Multiple-choice QA prompt.
+pub fn mc_prompt(question: &str, options: &[String], context: &[String]) -> String {
+    let mut p = open_prompt(question, context);
+    p.push_str("\nOptions:\n");
+    for (i, opt) in options.iter().enumerate() {
+        p.push_str(&format!("({}) {}\n", (b'A' + i as u8) as char, opt));
+    }
+    p.push_str("Reply with the letter of the correct option.");
+    p
+}
+
+/// Input-token count of a prompt (plus fixed overhead).
+pub fn prompt_tokens(prompt: &str) -> usize {
+    count_tokens(prompt) + PROMPT_OVERHEAD_TOKENS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_prompt_contains_parts() {
+        let p = open_prompt("Why?", &["because.".to_string(), "reasons.".to_string()]);
+        assert!(p.contains("Why?"));
+        assert!(p.contains("[1] because."));
+        assert!(p.contains("[2] reasons."));
+    }
+
+    #[test]
+    fn mc_prompt_letters() {
+        let p = mc_prompt(
+            "Pick one",
+            &["first".into(), "second".into(), "third".into()],
+            &[],
+        );
+        assert!(p.contains("(A) first"));
+        assert!(p.contains("(C) third"));
+    }
+
+    #[test]
+    fn tokens_grow_with_context() {
+        let small = prompt_tokens(&open_prompt("q", &["short".into()]));
+        let big = prompt_tokens(&open_prompt(
+            "q",
+            &vec!["a much longer context chunk with many words in it".to_string(); 5],
+        ));
+        assert!(big > small);
+        assert!(small > PROMPT_OVERHEAD_TOKENS);
+    }
+}

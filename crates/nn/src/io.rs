@@ -1,0 +1,253 @@
+//! Compact binary serialization for trained models.
+//!
+//! Training in this workspace is fast, but production use should not
+//! retrain per process: [`BytesSerialize`] round-trips every trained
+//! component (matrices, layers, MLPs, embedding tables — and, in dependent
+//! crates, the encoders, segmentation model, and reranker) through a
+//! little-endian length-prefixed format.
+//!
+//! Optimizer state and forward caches are deliberately *not* persisted —
+//! a loaded model is an inference artifact; resuming training restarts
+//! Adam's moments from zero (standard practice for small models).
+
+use crate::layer::{Activation, Linear};
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+use crate::EmbeddingTable;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Round-trip binary serialization.
+pub trait BytesSerialize: Sized {
+    /// Append this value to `buf`.
+    fn write(&self, buf: &mut BytesMut);
+
+    /// Read a value from the front of `buf`; `None` on malformed input.
+    fn read(buf: &mut Bytes) -> Option<Self>;
+
+    /// Serialize to a standalone blob.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.write(&mut buf);
+        buf.freeze()
+    }
+
+    /// Deserialize a standalone blob (must be fully consumed).
+    fn from_bytes(mut bytes: Bytes) -> Option<Self> {
+        let v = Self::read(&mut bytes)?;
+        if bytes.has_remaining() {
+            return None;
+        }
+        Some(v)
+    }
+}
+
+/// Write a length-prefixed `f32` slice.
+pub fn put_f32_slice(buf: &mut BytesMut, data: &[f32]) {
+    buf.put_u32_le(data.len() as u32);
+    for &v in data {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Read a length-prefixed `f32` vector.
+pub fn get_f32_vec(buf: &mut Bytes) -> Option<Vec<f32>> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len.checked_mul(4)? {
+        return None;
+    }
+    Some((0..len).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Write a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_string(buf: &mut Bytes) -> Option<String> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).ok()
+}
+
+/// Checked u32 read.
+pub fn get_u32(buf: &mut Bytes) -> Option<u32> {
+    (buf.remaining() >= 4).then(|| buf.get_u32_le())
+}
+
+/// Checked u64 read.
+pub fn get_u64(buf: &mut Bytes) -> Option<u64> {
+    (buf.remaining() >= 8).then(|| buf.get_u64_le())
+}
+
+/// Checked u8 read.
+pub fn get_u8(buf: &mut Bytes) -> Option<u8> {
+    buf.has_remaining().then(|| buf.get_u8())
+}
+
+impl BytesSerialize for Matrix {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.rows() as u32);
+        buf.put_u32_le(self.cols() as u32);
+        put_f32_slice(buf, self.data());
+    }
+
+    fn read(buf: &mut Bytes) -> Option<Self> {
+        let rows = get_u32(buf)? as usize;
+        let cols = get_u32(buf)? as usize;
+        let data = get_f32_vec(buf)?;
+        if data.len() != rows.checked_mul(cols)? {
+            return None;
+        }
+        Some(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+impl BytesSerialize for Activation {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            Activation::Identity => 0,
+            Activation::Relu => 1,
+            Activation::Tanh => 2,
+            Activation::Sigmoid => 3,
+        });
+    }
+
+    fn read(buf: &mut Bytes) -> Option<Self> {
+        match get_u8(buf)? {
+            0 => Some(Activation::Identity),
+            1 => Some(Activation::Relu),
+            2 => Some(Activation::Tanh),
+            3 => Some(Activation::Sigmoid),
+            _ => None,
+        }
+    }
+}
+
+impl BytesSerialize for Linear {
+    fn write(&self, buf: &mut BytesMut) {
+        self.activation().write(buf);
+        self.weights().write(buf);
+        put_f32_slice(buf, self.bias());
+    }
+
+    fn read(buf: &mut Bytes) -> Option<Self> {
+        let act = Activation::read(buf)?;
+        let w = Matrix::read(buf)?;
+        let b = get_f32_vec(buf)?;
+        Linear::from_parts(w, b, act)
+    }
+}
+
+impl BytesSerialize for Mlp {
+    fn write(&self, buf: &mut BytesMut) {
+        let layers = self.layers();
+        buf.put_u8(layers.len() as u8);
+        for layer in layers {
+            layer.write(buf);
+        }
+    }
+
+    fn read(buf: &mut Bytes) -> Option<Self> {
+        let n = get_u8(buf)? as usize;
+        if n == 0 {
+            return None;
+        }
+        let mut layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            layers.push(Linear::read(buf)?);
+        }
+        Mlp::from_layers(layers)
+    }
+}
+
+impl BytesSerialize for EmbeddingTable {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.buckets() as u32);
+        buf.put_u32_le(self.dim() as u32);
+        put_f32_slice(buf, self.rows_flat());
+    }
+
+    fn read(buf: &mut Bytes) -> Option<Self> {
+        let buckets = get_u32(buf)? as usize;
+        let dim = get_u32(buf)? as usize;
+        let rows = get_f32_vec(buf)?;
+        EmbeddingTable::from_parts(buckets, dim, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::xavier(4, 3, 7);
+        let back = Matrix::from_bytes(m.to_bytes()).expect("roundtrip");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn mlp_roundtrip_preserves_inference() {
+        let mlp = Mlp::new(&[6, 5, 2], Activation::Tanh, Activation::Sigmoid, 3);
+        let back = Mlp::from_bytes(mlp.to_bytes()).expect("roundtrip");
+        let x = Matrix::xavier(2, 6, 9);
+        assert_eq!(mlp.infer(&x), back.infer(&x));
+    }
+
+    #[test]
+    fn embedding_table_roundtrip() {
+        let t = EmbeddingTable::new(16, 4, 5);
+        let back = EmbeddingTable::from_bytes(t.to_bytes()).expect("roundtrip");
+        assert_eq!(t.row(7), back.row(7));
+        assert_eq!(t.buckets(), back.buckets());
+    }
+
+    #[test]
+    fn loaded_model_is_trainable() {
+        // Optimizer state is reset, but training must still work.
+        let mlp = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Sigmoid, 1);
+        let mut back = Mlp::from_bytes(mlp.to_bytes()).unwrap();
+        let x = Matrix::from_vec(1, 2, vec![0.3, -0.2]);
+        let y = Matrix::from_vec(1, 1, vec![1.0]);
+        let (first, _) = back.train_batch_mse(&x, &y, 0.05);
+        let mut last = first;
+        for _ in 0..50 {
+            (last, _) = back.train_batch_mse(&x, &y, 0.05);
+        }
+        assert!(last < first);
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert!(Matrix::from_bytes(Bytes::from_static(b"garbage")).is_none());
+        assert!(Mlp::from_bytes(Bytes::from_static(b"")).is_none());
+        // Trailing bytes are an error.
+        let m = Matrix::xavier(2, 2, 0);
+        let mut buf = BytesMut::new();
+        m.write(&mut buf);
+        buf.put_u8(0xFF);
+        assert!(Matrix::from_bytes(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn string_helpers_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "héllo wörld");
+        put_string(&mut buf, "");
+        let mut bytes = buf.freeze();
+        assert_eq!(get_string(&mut bytes).as_deref(), Some("héllo wörld"));
+        assert_eq!(get_string(&mut bytes).as_deref(), Some(""));
+        assert!(get_string(&mut bytes).is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Optimizers. Algorithm 1 says "gradient descent optimization method"; we
+//! provide plain SGD and Adam (the default for all trainers in this repo,
+//! since the small models converge in far fewer epochs with it).
+
+/// Adam optimizer state for one parameter tensor.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+}
+
+impl AdamState {
+    /// Fresh state for a tensor with `len` parameters, with the standard
+    /// hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(len: usize) -> Self {
+        Self { m: vec![0.0; len], v: vec![0.0; len], t: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// Apply one Adam update: `params -= lr * m̂ / (sqrt(v̂) + ε)`.
+    pub fn update(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), grads.len());
+        assert_eq!(params.len(), self.m.len(), "AdamState sized for a different tensor");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Plain SGD update: `params -= lr * grads`. Used for the sparse embedding
+/// rows where Adam state per row would waste memory.
+pub fn sgd_update(params: &mut [f32], grads: &[f32], lr: f32) {
+    assert_eq!(params.len(), grads.len());
+    for (p, &g) in params.iter_mut().zip(grads) {
+        *p -= lr * g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = vec![1.0, -1.0];
+        sgd_update(&mut p, &[0.5, -0.5], 0.1);
+        assert!((p[0] - 0.95).abs() < 1e-6);
+        assert!((p[1] + 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize f(x) = (x-3)^2 from x=0.
+        let mut x = vec![0.0f32];
+        let mut adam = AdamState::new(1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            adam.update(&mut x, &g, 0.05);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the first step has magnitude ~lr regardless
+        // of gradient scale.
+        let mut x = vec![0.0f32];
+        let mut adam = AdamState::new(1);
+        adam.update(&mut x, &[1000.0], 0.01);
+        assert!((x[0] + 0.01).abs() < 1e-4, "first step should be ≈ -lr, got {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tensor")]
+    fn adam_wrong_size_panics() {
+        let mut adam = AdamState::new(2);
+        let mut p = vec![0.0; 3];
+        adam.update(&mut p, &[0.0; 3], 0.1);
+    }
+}

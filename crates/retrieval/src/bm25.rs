@@ -1,0 +1,231 @@
+//! Okapi BM25 over an inverted index (paper retriever #2, §VII-A).
+//!
+//! Terms are stemmed but stopwords are kept — BM25's IDF term drives their
+//! weight toward zero naturally, and dropping them would distort document
+//! length normalisation.
+
+use crate::{Retriever, ScoredChunk};
+use sage_text::{stem, tokenize, Vocab};
+use std::collections::HashMap;
+
+/// BM25 hyper-parameters (standard Okapi defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f32,
+    /// Length normalisation strength.
+    pub b: f32,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// BM25 retriever with an inverted index.
+#[derive(Debug)]
+pub struct Bm25Retriever {
+    params: Bm25Params,
+    vocab: Vocab,
+    /// term id → postings of (chunk index, term frequency).
+    postings: HashMap<u32, Vec<(u32, u32)>>,
+    /// Token count per chunk.
+    chunk_len: Vec<u32>,
+    avg_len: f32,
+}
+
+impl Default for Bm25Retriever {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bm25Retriever {
+    /// New retriever with default parameters.
+    pub fn new() -> Self {
+        Self::with_params(Bm25Params::default())
+    }
+
+    /// New retriever with custom parameters.
+    pub fn with_params(params: Bm25Params) -> Self {
+        Self {
+            params,
+            vocab: Vocab::new(),
+            postings: HashMap::new(),
+            chunk_len: Vec::new(),
+            avg_len: 0.0,
+        }
+    }
+
+    fn terms(text: &str) -> Vec<String> {
+        tokenize(text).iter().map(|t| stem(t)).collect()
+    }
+}
+
+impl Retriever for Bm25Retriever {
+    fn index(&mut self, chunks: &[String]) {
+        self.vocab = Vocab::new();
+        self.postings.clear();
+        self.chunk_len.clear();
+        let mut total_len = 0u64;
+        for (ci, chunk) in chunks.iter().enumerate() {
+            let terms = Self::terms(chunk);
+            total_len += terms.len() as u64;
+            self.chunk_len.push(terms.len() as u32);
+            let mut tf: HashMap<u32, u32> = HashMap::new();
+            for term in &terms {
+                *tf.entry(self.vocab.intern(term)).or_insert(0) += 1;
+            }
+            let ids: Vec<u32> = tf.keys().copied().collect();
+            self.vocab.record_document(&ids);
+            for (id, freq) in tf {
+                self.postings.entry(id).or_default().push((ci as u32, freq));
+            }
+        }
+        self.avg_len = if chunks.is_empty() {
+            0.0
+        } else {
+            total_len as f32 / chunks.len() as f32
+        };
+    }
+
+    fn retrieve(&self, query: &str, n: usize) -> Vec<ScoredChunk> {
+        if self.chunk_len.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let mut scores: HashMap<u32, f32> = HashMap::new();
+        for term in Self::terms(query) {
+            let Some(id) = self.vocab.get(&term) else { continue };
+            let Some(postings) = self.postings.get(&id) else { continue };
+            let idf = self.vocab.idf(id);
+            for &(chunk, tf) in postings {
+                let tf = tf as f32;
+                let len = self.chunk_len[chunk as usize] as f32;
+                let denom =
+                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * len / self.avg_len);
+                let term_score = idf * tf * (self.params.k1 + 1.0) / denom;
+                *scores.entry(chunk).or_insert(0.0) += term_score;
+            }
+        }
+        let mut hits: Vec<ScoredChunk> = scores
+            .into_iter()
+            .map(|(chunk, score)| ScoredChunk { index: chunk as usize, score })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.index.cmp(&b.index)));
+        hits.truncate(n);
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.chunk_len.len()
+    }
+
+    fn name(&self) -> String {
+        "BM25".to_string()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let postings: usize =
+            self.postings.values().map(|p| p.capacity() * 8 + 48).sum::<usize>();
+        postings + self.chunk_len.capacity() * 4 + self.vocab.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks() -> Vec<String> {
+        vec![
+            "The cat has bright green eyes and soft fur.".to_string(),
+            "The dog chased the cat around the yard.".to_string(),
+            "Rockets carried the crew toward the distant moon.".to_string(),
+            "The moon shone over the quiet harbor town.".to_string(),
+            "Bakers knead dough before the town wakes.".to_string(),
+        ]
+    }
+
+    fn indexed() -> Bm25Retriever {
+        let mut r = Bm25Retriever::new();
+        r.index(&chunks());
+        r
+    }
+
+    #[test]
+    fn top_hit_shares_vocabulary() {
+        let r = indexed();
+        let hits = r.retrieve("what color are the cat's eyes", 3);
+        assert_eq!(hits[0].index, 0, "{hits:?}");
+    }
+
+    #[test]
+    fn scores_descend() {
+        let r = indexed();
+        let hits = r.retrieve("the moon", 5);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let r = indexed();
+        assert!(r.retrieve("zyzzyva quux", 3).is_empty());
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_terms() {
+        let r = indexed();
+        // "the" appears everywhere; querying it alone must not rank any
+        // chunk far above the rest.
+        let hits = r.retrieve("the", 5);
+        if hits.len() >= 2 {
+            assert!(hits[0].score < 1.0, "stopword score too high: {}", hits[0].score);
+        }
+    }
+
+    #[test]
+    fn stemming_matches_variants() {
+        let r = indexed();
+        let hits = r.retrieve("rocket", 2); // indexed text says "Rockets"
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].index, 2);
+    }
+
+    #[test]
+    fn reindex_replaces_old_state() {
+        let mut r = indexed();
+        r.index(&["completely different text about pianos".to_string()]);
+        assert_eq!(r.len(), 1);
+        assert!(r.retrieve("cat", 3).is_empty());
+        assert!(!r.retrieve("piano", 3).is_empty());
+    }
+
+    #[test]
+    fn empty_index_and_zero_n() {
+        let mut r = Bm25Retriever::new();
+        r.index(&[]);
+        assert!(r.retrieve("anything", 3).is_empty());
+        let r2 = indexed();
+        assert!(r2.retrieve("cat", 0).is_empty());
+    }
+
+    #[test]
+    fn length_normalisation_prefers_focused_chunks() {
+        let mut r = Bm25Retriever::new();
+        r.index(&[
+            "green eyes".to_string(),
+            "green eyes and a very long trailing description of many unrelated things in the \
+             garden near the fence by the road"
+                .to_string(),
+        ]);
+        let hits = r.retrieve("green eyes", 2);
+        assert_eq!(hits[0].index, 0, "shorter chunk should win: {hits:?}");
+    }
+
+    #[test]
+    fn memory_is_positive() {
+        assert!(indexed().memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # sage-segment
+//!
+//! Corpus segmentation (paper §IV) — SAGE's first contribution (C1).
+//!
+//! * [`SegmentationModel`] — the paper's Figure-4 architecture: a trainable
+//!   sentence embedder, a feature-augmentation module producing
+//!   `(x₁, x₂, x₁−x₂, x₁·x₂)`, and an MLP scoring head. Trained per
+//!   Algorithm 1 on `(s₁, s₂, same-paragraph?)` pairs with MSE, updating
+//!   both the embedder and the MLP.
+//! * [`FeatureConfig`] — toggles the augmented features for the Table X
+//!   ablation.
+//! * [`Segmenter`] implementations:
+//!   [`FixedLengthSegmenter`] (Figure 3-A: cuts mid-sentence),
+//!   [`SentenceSegmenter`] (Figure 3-B/C: whole sentences up to a length
+//!   budget — the paper's Naive RAG uses this at 200 tokens),
+//!   [`SemanticSegmenter`] (Figure 3-D / §IV-E: coarse ~l-token chunks
+//!   refined by the model at threshold `ss`).
+//! * [`parallel::score_pairs_parallel`] — the batched inference path
+//!   (§IV-D runs batches of 512 pairs on a GPU; we use a thread pool).
+
+pub mod model;
+pub mod parallel;
+pub mod segmenter;
+
+pub use model::{FeatureConfig, SegmentationModel, TrainReport};
+pub use segmenter::{FixedLengthSegmenter, Segmenter, SemanticSegmenter, SentenceSegmenter};

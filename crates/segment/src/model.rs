@@ -1,0 +1,317 @@
+//! The segmentation model (paper Figure 4) and its Algorithm-1 trainer.
+//!
+//! Architecture: hashed sentence features → shared [`EmbeddingTable`]
+//! (mean-pooled) → feature augmentation → MLP → sigmoid score. A score near
+//! 1 means "these adjacent sentences belong in the same chunk", near 0
+//! means "segment here". Training updates both the embedding table and the
+//! MLP (Algorithm 1, line 8 updates `f_e` and `M`).
+
+use sage_embed::sentence_features;
+use sage_nn::layer::Activation;
+use sage_nn::matrix::Matrix;
+use sage_nn::{EmbeddingTable, Mlp};
+
+/// Which augmented features feed the MLP (Table X ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureConfig {
+    /// Include the elementwise difference `x₁ − x₂`.
+    pub use_diff: bool,
+    /// Include the elementwise product `x₁ · x₂`.
+    pub use_prod: bool,
+}
+
+impl Default for FeatureConfig {
+    /// The paper's full feature set.
+    fn default() -> Self {
+        Self { use_diff: true, use_prod: true }
+    }
+}
+
+impl FeatureConfig {
+    /// Only `(x₁, x₂)` — the Table X baseline row.
+    pub fn base() -> Self {
+        Self { use_diff: false, use_prod: false }
+    }
+
+    /// Number of concatenated feature blocks.
+    fn blocks(self) -> usize {
+        2 + usize::from(self.use_diff) + usize::from(self.use_prod)
+    }
+
+    /// Human-readable label matching the paper's Table X rows.
+    pub fn label(self) -> &'static str {
+        match (self.use_diff, self.use_prod) {
+            (false, false) => "(x1), (x2)",
+            (true, false) => "(x1), (x2), (x1 - x2)",
+            (false, true) => "(x1), (x2), (x1 * x2)",
+            (true, true) => "(x1), (x2), (x1 - x2), (x1 * x2)",
+        }
+    }
+}
+
+/// Per-epoch training metrics returned by [`SegmentationModel::train`].
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean MSE loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// The Figure-4 segmentation model.
+#[derive(Debug, Clone)]
+pub struct SegmentationModel {
+    table: EmbeddingTable,
+    mlp: Mlp,
+    feat: FeatureConfig,
+    buckets: usize,
+    dim: usize,
+    seed: u64,
+}
+
+impl SegmentationModel {
+    /// Build an untrained model.
+    ///
+    /// * `buckets`/`dim` size the sentence embedder;
+    /// * `hidden` sizes the MLP's hidden layer;
+    /// * `feat` selects augmented features;
+    /// * `seed` makes initialisation deterministic.
+    pub fn new(buckets: usize, dim: usize, hidden: usize, feat: FeatureConfig, seed: u64) -> Self {
+        let input = dim * feat.blocks();
+        Self {
+            table: EmbeddingTable::new(buckets, dim, seed),
+            mlp: Mlp::new(&[input, hidden, 1], Activation::Tanh, Activation::Sigmoid, seed ^ 0x11),
+            feat,
+            buckets,
+            dim,
+            seed,
+        }
+    }
+
+    /// The configuration used by experiment presets.
+    pub fn default_model() -> Self {
+        Self::new(2048, 32, 32, FeatureConfig::default(), 0x5E6)
+    }
+
+    /// The feature configuration.
+    pub fn feature_config(&self) -> FeatureConfig {
+        self.feat
+    }
+
+    /// Sentence featurization for the segmentation task: the shared hashed
+    /// bag-of-features plus high-weight *leading-token* features. Sentence
+    /// openings carry most of the boundary signal (pronoun-initial
+    /// continuations vs. name-initial introductions), and making them
+    /// separately addressable lets the linear layers pick that up without
+    /// fighting the pooled average.
+    fn features(&self, sentence: &str) -> Vec<(u32, f32)> {
+        let mut feats = sentence_features(sentence, self.buckets, self.seed);
+        let tokens = sage_text::tokenize(sentence);
+        for (i, tok) in tokens.iter().take(2).enumerate() {
+            let f = sage_text::hash_token(tok, self.buckets, self.seed ^ (0xF157 + i as u64));
+            feats.push((f.bucket, f.sign * 2.0));
+        }
+        feats
+    }
+
+    fn pool(&self, feats: &[(u32, f32)]) -> Vec<f32> {
+        let mut v = vec![0.0; self.dim];
+        self.table.pool(feats, &mut v);
+        v
+    }
+
+    /// Concatenate `(x₁, x₂[, x₁−x₂][, x₁·x₂])` per the feature config.
+    fn augment(&self, x1: &[f32], x2: &[f32]) -> Vec<f32> {
+        let mut input = Vec::with_capacity(self.dim * self.feat.blocks());
+        input.extend_from_slice(x1);
+        input.extend_from_slice(x2);
+        if self.feat.use_diff {
+            input.extend(x1.iter().zip(x2).map(|(a, b)| a - b));
+        }
+        if self.feat.use_prod {
+            input.extend(x1.iter().zip(x2).map(|(a, b)| a * b));
+        }
+        input
+    }
+
+    /// Score an adjacent sentence pair in `[0, 1]`; below the threshold
+    /// `ss` the pair should be segmented (§IV-D).
+    pub fn score_pair(&self, s1: &str, s2: &str) -> f32 {
+        let x1 = self.pool(&self.features(s1));
+        let x2 = self.pool(&self.features(s2));
+        let input = Matrix::from_row(&self.augment(&x1, &x2));
+        self.mlp.infer(&input).get(0, 0)
+    }
+
+    /// Algorithm 1: train on `(s₁, s₂, label)` pairs with MSE, updating the
+    /// embedder and the MLP jointly.
+    pub fn train(&mut self, pairs: &[(String, String, f32)], lr: f32, epochs: usize) -> TrainReport {
+        let mut epoch_losses = Vec::with_capacity(epochs);
+        for epoch in 0..epochs {
+            // Geometric learning-rate decay stabilises the final epochs.
+            let lr = lr * 0.75f32.powi(epoch as i32);
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (s1, s2, label) in pairs {
+                let f1 = self.features(s1);
+                let f2 = self.features(s2);
+                if f1.is_empty() || f2.is_empty() {
+                    continue;
+                }
+                let x1 = self.pool(&f1);
+                let x2 = self.pool(&f2);
+                let input = Matrix::from_row(&self.augment(&x1, &x2));
+                let target = Matrix::from_vec(1, 1, vec![*label]);
+                let (loss, input_grad) = self.mlp.train_batch_mse(&input, &target, lr);
+                total += loss;
+                count += 1;
+                // Split the input gradient back into dL/dx₁ and dL/dx₂.
+                let g = input_grad.row(0);
+                let d = self.dim;
+                let mut gx1: Vec<f32> = g[..d].to_vec();
+                let mut gx2: Vec<f32> = g[d..2 * d].to_vec();
+                let mut offset = 2 * d;
+                if self.feat.use_diff {
+                    let gd = &g[offset..offset + d];
+                    for i in 0..d {
+                        gx1[i] += gd[i];
+                        gx2[i] -= gd[i];
+                    }
+                    offset += d;
+                }
+                if self.feat.use_prod {
+                    let gp = &g[offset..offset + d];
+                    for i in 0..d {
+                        gx1[i] += gp[i] * x2[i];
+                        gx2[i] += gp[i] * x1[i];
+                    }
+                }
+                // Embedder update (SGD on the participating rows).
+                self.table.apply_pooled_grad(&f1, &gx1, lr);
+                self.table.apply_pooled_grad(&f2, &gx2, lr);
+            }
+            epoch_losses.push(if count == 0 { 0.0 } else { total / count as f32 });
+        }
+        TrainReport { epoch_losses }
+    }
+
+    /// Classification accuracy at threshold 0.5 on labelled pairs — the
+    /// metric reported by the Table X ablation.
+    pub fn evaluate(&self, pairs: &[(String, String, f32)]) -> f32 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        let correct = pairs
+            .iter()
+            .filter(|(s1, s2, label)| {
+                let pred = self.score_pair(s1, s2) >= 0.5;
+                pred == (*label >= 0.5)
+            })
+            .count();
+        correct as f32 / pairs.len() as f32
+    }
+}
+
+impl sage_nn::BytesSerialize for SegmentationModel {
+    fn write(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.buckets as u32);
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u64_le(self.seed);
+        buf.put_u8(u8::from(self.feat.use_diff));
+        buf.put_u8(u8::from(self.feat.use_prod));
+        self.table.write(buf);
+        self.mlp.write(buf);
+    }
+
+    fn read(buf: &mut bytes::Bytes) -> Option<Self> {
+        use sage_nn::io::{get_u32, get_u64, get_u8};
+        let buckets = get_u32(buf)? as usize;
+        let dim = get_u32(buf)? as usize;
+        let seed = get_u64(buf)?;
+        let feat = FeatureConfig { use_diff: get_u8(buf)? != 0, use_prod: get_u8(buf)? != 0 };
+        let table = EmbeddingTable::read(buf)?;
+        let mlp = Mlp::read(buf)?;
+        if table.buckets() != buckets || table.dim() != dim || mlp.in_dim() != dim * feat.blocks()
+        {
+            return None;
+        }
+        Some(Self { table, mlp, feat, buckets, dim, seed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_corpus::datasets::{wiki, SizeConfig};
+    use sage_corpus::training::segmentation_pairs;
+
+    fn train_eval(feat: FeatureConfig) -> f32 {
+        let ds = wiki::generate(SizeConfig { num_docs: 14, questions_per_doc: 0, seed: 42 });
+        let pairs = segmentation_pairs(&ds.documents, 1000, 1);
+        let (train, val) = pairs.split_at(pairs.len() * 4 / 5);
+        let mut model = SegmentationModel::new(2048, 24, 24, feat, 3);
+        model.train(train, 0.05, 8);
+        model.evaluate(val)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = wiki::generate(SizeConfig { num_docs: 6, questions_per_doc: 0, seed: 1 });
+        let pairs = segmentation_pairs(&ds.documents, 300, 2);
+        let mut model = SegmentationModel::new(1024, 16, 16, FeatureConfig::default(), 4);
+        let report = model.train(&pairs, 0.05, 5);
+        assert!(
+            report.epoch_losses.last().unwrap() < &(report.epoch_losses[0] * 0.9),
+            "losses: {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn trained_model_beats_chance() {
+        let acc = train_eval(FeatureConfig::default());
+        assert!(acc > 0.7, "validation accuracy {acc}");
+    }
+
+    #[test]
+    fn full_features_beat_base_features() {
+        // The Table X ordering: (x1,x2,diff,prod) >= (x1,x2). Small margin
+        // tolerance — both are trained on the same data.
+        let full = train_eval(FeatureConfig::default());
+        let base = train_eval(FeatureConfig::base());
+        assert!(full + 0.02 >= base, "full {full} vs base {base}");
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let model = SegmentationModel::default_model();
+        for (a, b) in [
+            ("The cat sat.", "He slept."),
+            ("", "x"),
+            ("Rain fell over the town.", "Rockets launched at dawn."),
+        ] {
+            let s = model.score_pair(a, b);
+            assert!((0.0..=1.0).contains(&s), "score {s} for ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn feature_config_labels() {
+        assert_eq!(FeatureConfig::default().label(), "(x1), (x2), (x1 - x2), (x1 * x2)");
+        assert_eq!(FeatureConfig::base().label(), "(x1), (x2)");
+        assert_eq!(FeatureConfig::base().blocks(), 2);
+        assert_eq!(FeatureConfig::default().blocks(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SegmentationModel::new(256, 8, 8, FeatureConfig::default(), 9);
+        let b = SegmentationModel::new(256, 8, 8, FeatureConfig::default(), 9);
+        assert_eq!(a.score_pair("one two", "three four"), b.score_pair("one two", "three four"));
+    }
+
+    #[test]
+    fn evaluate_empty_is_zero() {
+        let model = SegmentationModel::default_model();
+        assert_eq!(model.evaluate(&[]), 0.0);
+    }
+}

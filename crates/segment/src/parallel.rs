@@ -1,0 +1,102 @@
+//! Batched parallel inference (§IV-D): "we can gather all pairs of
+//! sentences within a corpus and organize them into multiple batches, each
+//! with a size of 512" — the paper runs the batches on a GPU; we stripe
+//! them across a thread pool, which exposes the same throughput-vs-workers
+//! axis that the scalability experiment measures.
+
+use crate::model::SegmentationModel;
+
+/// Default batch size (matches the paper's 512).
+pub const BATCH_SIZE: usize = 512;
+
+/// Score many sentence pairs with `workers` threads; results align with the
+/// input order.
+pub fn score_pairs_parallel(
+    model: &SegmentationModel,
+    pairs: &[(String, String)],
+    workers: usize,
+) -> Vec<f32> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, pairs.len());
+    let mut scores = vec![0.0f32; pairs.len()];
+    std::thread::scope(|s| {
+        let chunks: Vec<(usize, &[(String, String)])> = {
+            let per = pairs.len().div_ceil(workers);
+            pairs.chunks(per).enumerate().map(|(i, c)| (i * per, c)).collect()
+        };
+        let mut handles = Vec::new();
+        for (offset, chunk) in chunks {
+            handles.push(s.spawn(move || {
+                let local: Vec<f32> =
+                    chunk.iter().map(|(a, b)| model.score_pair(a, b)).collect();
+                (offset, local)
+            }));
+        }
+        for h in handles {
+            let (offset, local) = h.join().expect("scoring worker panicked");
+            scores[offset..offset + local.len()].copy_from_slice(&local);
+        }
+    });
+    scores
+}
+
+/// Throughput helper: tokens scored per second over a timed run. Used by
+/// the Figure-7 and Tables VIII/IX latency columns.
+pub fn segmentation_throughput(
+    model: &SegmentationModel,
+    pairs: &[(String, String)],
+    workers: usize,
+) -> (std::time::Duration, f64) {
+    let start = std::time::Instant::now();
+    let _ = score_pairs_parallel(model, pairs, workers);
+    let elapsed = start.elapsed();
+    let tokens: usize =
+        pairs.iter().map(|(a, b)| sage_text::count_tokens(a) + sage_text::count_tokens(b)).sum();
+    let tps = tokens as f64 / elapsed.as_secs_f64().max(1e-9);
+    (elapsed, tps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SegmentationModel;
+
+    fn pairs(n: usize) -> Vec<(String, String)> {
+        (0..n)
+            .map(|i| (format!("Sentence number {i} about cats."), format!("It follows {i}.")))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let model = SegmentationModel::default_model();
+        let ps = pairs(37);
+        let serial: Vec<f32> = ps.iter().map(|(a, b)| model.score_pair(a, b)).collect();
+        for workers in [1, 2, 4, 8] {
+            assert_eq!(score_pairs_parallel(&model, &ps, workers), serial);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let model = SegmentationModel::default_model();
+        assert!(score_pairs_parallel(&model, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_pairs() {
+        let model = SegmentationModel::default_model();
+        let ps = pairs(3);
+        assert_eq!(score_pairs_parallel(&model, &ps, 100).len(), 3);
+    }
+
+    #[test]
+    fn throughput_positive() {
+        let model = SegmentationModel::default_model();
+        let (elapsed, tps) = segmentation_throughput(&model, &pairs(50), 2);
+        assert!(elapsed.as_nanos() > 0);
+        assert!(tps > 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Exact brute-force index over a contiguous vector arena.
+//!
+//! Scan + binary-heap top-N. At the paper's corpus sizes (thousands of
+//! chunks per document) an exact scan is microseconds, so this is the
+//! default index for accuracy experiments; the `micro_vecdb` bench
+//! quantifies where [`crate::HnswIndex`] overtakes it.
+
+use crate::metric::Metric;
+use crate::{Hit, VectorIndex};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap entry so the heap evicts the *worst* of the current top-N.
+#[derive(PartialEq)]
+struct HeapHit(Hit);
+
+impl Eq for HeapHit {}
+
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score => BinaryHeap::peek is the smallest score.
+        // NaN-safe: total_cmp. Ties broken by id for determinism.
+        other
+            .0
+            .score
+            .total_cmp(&self.0.score)
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+/// Exact top-N index backed by one contiguous `Vec<f32>` arena.
+///
+/// ```
+/// use sage_vecdb::{FlatIndex, VectorIndex};
+///
+/// let mut index = FlatIndex::cosine();
+/// index.add(vec![1.0, 0.0]);
+/// index.add(vec![0.0, 1.0]);
+/// let hits = index.search(&[0.9, 0.1], 1);
+/// assert_eq!(hits[0].id, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    metric: Metric,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// Empty index with the given metric; the dimensionality is fixed by
+    /// the first insert.
+    pub fn new(metric: Metric) -> Self {
+        Self { metric, dim: 0, data: Vec::new() }
+    }
+
+    /// Empty cosine index (the paper default).
+    pub fn cosine() -> Self {
+        Self::new(Metric::Cosine)
+    }
+
+    /// Borrow the vector with internal id `id`.
+    pub fn vector(&self, id: usize) -> Option<&[f32]> {
+        if self.dim == 0 || id >= self.len() {
+            return None;
+        }
+        Some(&self.data[id * self.dim..(id + 1) * self.dim])
+    }
+
+    /// Serialize to a compact binary blob (little-endian):
+    /// `[metric u8][dim u32][count u32][f32 * dim * count]`.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(9 + self.data.len() * 4);
+        buf.put_u8(match self.metric {
+            Metric::Cosine => 0,
+            Metric::Dot => 1,
+            Metric::NegEuclidean => 2,
+        });
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u32_le(self.len() as u32);
+        for &v in &self.data {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize a blob produced by [`FlatIndex::to_bytes`].
+    /// Returns `None` on malformed input.
+    pub fn from_bytes(mut bytes: Bytes) -> Option<Self> {
+        if bytes.remaining() < 9 {
+            return None;
+        }
+        let metric = match bytes.get_u8() {
+            0 => Metric::Cosine,
+            1 => Metric::Dot,
+            2 => Metric::NegEuclidean,
+            _ => return None,
+        };
+        let dim = bytes.get_u32_le() as usize;
+        let count = bytes.get_u32_le() as usize;
+        let need = dim.checked_mul(count)?.checked_mul(4)?;
+        if bytes.remaining() != need {
+            return None;
+        }
+        let mut data = Vec::with_capacity(dim * count);
+        for _ in 0..dim * count {
+            data.push(bytes.get_f32_le());
+        }
+        Some(Self { metric, dim, data })
+    }
+
+    /// Exact top-N over many queries concurrently (one scoped thread per
+    /// worker; queries are striped). Used by the scalability experiment to
+    /// model concurrent retrieval load.
+    pub fn search_batch(&self, queries: &[Vec<f32>], n: usize, workers: usize) -> Vec<Vec<Hit>> {
+        let workers = workers.clamp(1, queries.len().max(1));
+        let mut results: Vec<Vec<Hit>> = vec![Vec::new(); queries.len()];
+        let chunks: Vec<(usize, &Vec<f32>)> = queries.iter().enumerate().collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let my: Vec<(usize, &Vec<f32>)> =
+                    chunks.iter().skip(w).step_by(workers).cloned().collect();
+                handles.push(s.spawn(move || {
+                    my.into_iter().map(|(i, q)| (i, self.search(q, n))).collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (i, hits) in h.join().expect("search worker panicked") {
+                    results[i] = hits;
+                }
+            }
+        });
+        results
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn add(&mut self, vector: Vec<f32>) -> usize {
+        if self.dim == 0 {
+            assert!(!vector.is_empty(), "cannot index empty vectors");
+            self.dim = vector.len();
+        }
+        assert_eq!(vector.len(), self.dim, "vector dim {} != index dim {}", vector.len(), self.dim);
+        let id = self.len();
+        self.data.extend_from_slice(&vector);
+        id
+    }
+
+    fn search(&self, query: &[f32], n: usize) -> Vec<Hit> {
+        if self.dim == 0 || n == 0 {
+            return Vec::new();
+        }
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let mut heap: BinaryHeap<HeapHit> = BinaryHeap::with_capacity(n + 1);
+        for id in 0..self.len() {
+            let v = &self.data[id * self.dim..(id + 1) * self.dim];
+            let score = self.metric.similarity(query, v);
+            heap.push(HeapHit(Hit { id, score }));
+            if heap.len() > n {
+                heap.pop();
+            }
+        }
+        let mut hits: Vec<Hit> = heap.into_iter().map(|h| h.0).collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+        hits
+    }
+
+    fn clear(&mut self) {
+        self.dim = 0;
+        self.data.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(theta: f32) -> Vec<f32> {
+        vec![theta.cos(), theta.sin()]
+    }
+
+    #[test]
+    fn exact_nearest_neighbour() {
+        let mut idx = FlatIndex::cosine();
+        for i in 0..10 {
+            idx.add(unit(i as f32 * 0.3));
+        }
+        let hits = idx.search(&unit(0.95), 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 3); // 0.9 is the closest angle to 0.95
+        assert!(hits[0].score >= hits[1].score && hits[1].score >= hits[2].score);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut idx = FlatIndex::cosine();
+        assert_eq!(idx.add(vec![1.0, 0.0]), 0);
+        assert_eq!(idx.add(vec![0.0, 1.0]), 1);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn n_larger_than_len() {
+        let mut idx = FlatIndex::cosine();
+        idx.add(vec![1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 10);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_index_or_zero_n() {
+        let idx = FlatIndex::cosine();
+        assert!(idx.search(&[1.0], 5).is_empty());
+        let mut idx2 = FlatIndex::cosine();
+        idx2.add(vec![1.0]);
+        assert!(idx2.search(&[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let mut idx = FlatIndex::cosine();
+        idx.add(vec![1.0, 0.0]);
+        idx.add(vec![1.0, 0.0]); // identical vector
+        let hits = idx.search(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 1);
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut idx = FlatIndex::new(Metric::Dot);
+        idx.add(vec![1.0, 2.0, 3.0]);
+        idx.add(vec![-1.0, 0.5, 0.25]);
+        let blob = idx.to_bytes();
+        let back = FlatIndex::from_bytes(blob).expect("roundtrip");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.dim(), 3);
+        assert_eq!(back.vector(1), idx.vector(1));
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(FlatIndex::from_bytes(Bytes::from_static(b"xx")).is_none());
+        assert!(FlatIndex::from_bytes(Bytes::from_static(b"\x09\x01\x00\x00\x00\x01\x00\x00\x00"))
+            .is_none());
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mut idx = FlatIndex::cosine();
+        for i in 0..50 {
+            idx.add(unit(i as f32 * 0.13));
+        }
+        let queries: Vec<Vec<f32>> = (0..7).map(|i| unit(i as f32 * 0.31)).collect();
+        let batch = idx.search_batch(&queries, 5, 4);
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(got, &idx.search(q, 5));
+        }
+    }
+
+    #[test]
+    fn memory_reported() {
+        let mut idx = FlatIndex::cosine();
+        for _ in 0..100 {
+            idx.add(vec![0.0; 64]);
+        }
+        assert!(idx.memory_bytes() >= 100 * 64 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector dim")]
+    fn dim_mismatch_panics() {
+        let mut idx = FlatIndex::cosine();
+        idx.add(vec![1.0, 0.0]);
+        idx.add(vec![1.0]);
+    }
+}

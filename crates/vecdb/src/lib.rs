@@ -1,0 +1,72 @@
+//! # sage-vecdb
+//!
+//! The vector-database substrate (the paper uses Faiss, §VII-A). Three index
+//! types behind one [`VectorIndex`] trait:
+//!
+//! * [`FlatIndex`] — exact brute-force top-N search. The default for all
+//!   accuracy experiments (the paper's corpora fit comfortably in RAM).
+//! * [`HnswIndex`] — Hierarchical Navigable Small World approximate index,
+//!   used at TriviaQA scale (Tables VIII/IX) and in the flat-vs-ANN
+//!   micro-benchmarks.
+//! * [`IvfIndex`] — inverted-file index with a k-means coarse quantiser
+//!   (Faiss's other workhorse design), trading a training phase for
+//!   cell-local scans.
+//!
+//! All three assign sequential internal ids in insertion order, which is exactly
+//! the paper's "record of the mapping between the index of each chunk in 𝕋
+//! and its corresponding vector" (§III-A): insert chunks in order and the
+//! internal id *is* the chunk index.
+//!
+//! [`SharedIndex`] wraps any index for concurrent query workloads
+//! (scalability experiment), and [`flat::FlatIndex::to_bytes`] provides a
+//! compact persistence format.
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod metric;
+pub mod shared;
+
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use ivf::{IvfConfig, IvfIndex};
+pub use metric::Metric;
+pub use shared::SharedIndex;
+
+/// A search hit: internal vector id plus similarity score (higher = closer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Internal id (== insertion order == chunk index).
+    pub id: usize,
+    /// Similarity under the index metric; higher is more similar.
+    pub score: f32,
+}
+
+/// Top-N nearest-neighbour index over `f32` vectors.
+pub trait VectorIndex: Send + Sync {
+    /// Insert a vector, returning its internal id (sequential).
+    ///
+    /// Panics if the vector dimensionality differs from earlier inserts.
+    fn add(&mut self, vector: Vec<f32>) -> usize;
+
+    /// Remove all vectors, keeping configuration (metric, parameters).
+    fn clear(&mut self);
+
+    /// Return up to `n` most similar vectors, most similar first.
+    fn search(&self, query: &[f32], n: usize) -> Vec<Hit>;
+
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality (0 when empty and not yet fixed).
+    fn dim(&self) -> usize;
+
+    /// Approximate resident memory in bytes (vectors + graph structures).
+    /// Backs the memory columns of the scalability tables.
+    fn memory_bytes(&self) -> usize;
+}

@@ -1,0 +1,85 @@
+//! Similarity metrics. The paper's retrieval phase uses "the shortest
+//! cosine distance" (§II-A); since every embedder in this workspace emits
+//! unit-L2 vectors, cosine similarity equals the dot product, but the
+//! metric is kept explicit so the index also works with unnormalised data.
+
+/// Similarity metric for a vector index. All variants are oriented so that
+/// **higher is more similar**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Cosine similarity in `[-1, 1]`.
+    #[default]
+    Cosine,
+    /// Raw inner product.
+    Dot,
+    /// Negated Euclidean distance (so higher is closer).
+    NegEuclidean,
+}
+
+impl Metric {
+    /// Similarity between two equal-length vectors.
+    #[inline]
+    pub fn similarity(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Dot => dot(a, b),
+            Metric::Cosine => {
+                let na = dot(a, a).sqrt();
+                let nb = dot(b, b).sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    dot(a, b) / (na * nb)
+                }
+            }
+            Metric::NegEuclidean => {
+                let mut s = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    let d = x - y;
+                    s += d * d;
+                }
+                -s.sqrt()
+            }
+        }
+    }
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_self_is_one() {
+        let v = [0.6, 0.8];
+        assert!((Metric::Cosine.similarity(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(Metric::Cosine.similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_cosine_for_unit_vectors() {
+        let a = [0.6, 0.8];
+        let b = [1.0, 0.0];
+        assert!(
+            (Metric::Dot.similarity(&a, &b) - Metric::Cosine.similarity(&a, &b)).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn euclidean_orientation() {
+        let origin = [0.0, 0.0];
+        let near = [1.0, 0.0];
+        let far = [3.0, 4.0];
+        let m = Metric::NegEuclidean;
+        assert!(m.similarity(&origin, &near) > m.similarity(&origin, &far));
+        assert_eq!(m.similarity(&origin, &far), -5.0);
+    }
+}

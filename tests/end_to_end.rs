@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: datasets → pipeline → metrics, exercising
+//! the public facade exactly as a downstream user would.
+
+use sage::corpus::datasets::{narrativeqa, qasper, quality, SizeConfig};
+use sage::prelude::*;
+use std::sync::OnceLock;
+
+fn models() -> &'static TrainedModels {
+    static M: OnceLock<TrainedModels> = OnceLock::new();
+    M.get_or_init(|| TrainedModels::train(TrainBudget::tiny()))
+}
+
+fn small() -> SizeConfig {
+    SizeConfig { num_docs: 4, questions_per_doc: 3, seed: 0xE2E }
+}
+
+#[test]
+fn sage_beats_naive_on_quality_accuracy() {
+    let ds = quality::generate(small());
+    let sage = evaluate(
+        Method::Sage(RetrieverKind::OpenAiSim),
+        models(),
+        LlmProfile::gpt4o_mini(),
+        &ds,
+    );
+    let naive = evaluate(
+        Method::NaiveRag(RetrieverKind::OpenAiSim),
+        models(),
+        LlmProfile::gpt4o_mini(),
+        &ds,
+    );
+    assert!(
+        sage.accuracy >= naive.accuracy,
+        "SAGE {} vs Naive {}",
+        sage.accuracy,
+        naive.accuracy
+    );
+    assert!(sage.accuracy > 0.5, "SAGE accuracy {} too low", sage.accuracy);
+}
+
+#[test]
+fn sage_beats_naive_on_narrativeqa_rouge() {
+    let ds = narrativeqa::generate(small());
+    let sage = evaluate(
+        Method::Sage(RetrieverKind::OpenAiSim),
+        models(),
+        LlmProfile::gpt4o_mini(),
+        &ds,
+    );
+    let naive = evaluate(
+        Method::NaiveRag(RetrieverKind::OpenAiSim),
+        models(),
+        LlmProfile::gpt4o_mini(),
+        &ds,
+    );
+    assert!(sage.rouge > naive.rouge, "SAGE {} vs Naive {}", sage.rouge, naive.rouge);
+}
+
+#[test]
+fn selected_chunks_contain_evidence_for_most_answerable_questions() {
+    // Retrieval precision against ground truth: for answerable QASPER
+    // questions, SAGE's final context should contain every gold evidence
+    // sentence most of the time.
+    let ds = qasper::generate(small());
+    let mut checked = 0usize;
+    let mut covered = 0usize;
+    let mut built: Option<(usize, RagSystem)> = None;
+    for task in &ds.tasks {
+        if task.item.evidence.is_empty() {
+            continue;
+        }
+        if built.as_ref().map(|(d, _)| *d) != Some(task.doc) {
+            let corpus = vec![ds.documents[task.doc].text()];
+            built = Some((
+                task.doc,
+                RagSystem::build(
+                    models(),
+                    RetrieverKind::OpenAiSim,
+                    SageConfig::sage(),
+                    LlmProfile::gpt4o_mini(),
+                    &corpus,
+                ),
+            ));
+        }
+        let (_, system) = built.as_ref().unwrap();
+        let r = system.answer_open(&task.item.question);
+        let context: String =
+            r.selected.iter().map(|&i| system.chunks()[i].as_str()).collect::<Vec<_>>().join(" ");
+        checked += 1;
+        if task.item.evidence.iter().all(|e| context.contains(e)) {
+            covered += 1;
+        }
+    }
+    assert!(checked >= 5, "need enough answerable questions, got {checked}");
+    let rate = covered as f32 / checked as f32;
+    assert!(rate >= 0.6, "evidence coverage {rate} ({covered}/{checked})");
+}
+
+#[test]
+fn ablation_modules_do_not_hurt() {
+    // Table IV's qualitative claim: each module on top of Naive RAG helps
+    // (or at least does not hurt) on the open-ended dataset.
+    let ds = narrativeqa::generate(SizeConfig { num_docs: 5, questions_per_doc: 4, seed: 77 });
+    let profile = LlmProfile::gpt4o_mini();
+    let naive = evaluate(Method::NaiveRag(RetrieverKind::OpenAiSim), models(), profile, &ds);
+    let sage = evaluate(Method::Sage(RetrieverKind::OpenAiSim), models(), profile, &ds);
+    for (label, cfg) in [
+        ("segmentation", SageConfig::naive_with_segmentation()),
+        ("selection", SageConfig::naive_with_selection()),
+        ("feedback", SageConfig::naive_with_feedback()),
+    ] {
+        let scores = evaluate(
+            Method::Custom(RetrieverKind::OpenAiSim, cfg),
+            models(),
+            profile,
+            &ds,
+        );
+        assert!(
+            scores.rouge + 0.05 >= naive.rouge,
+            "+{label} ROUGE {} should not fall below naive {}",
+            scores.rouge,
+            naive.rouge
+        );
+    }
+    assert!(sage.rouge >= naive.rouge, "SAGE {} vs naive {}", sage.rouge, naive.rouge);
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let ds = quality::generate(small());
+    let a = evaluate(Method::Sage(RetrieverKind::Bm25), models(), LlmProfile::gpt4(), &ds);
+    let b = evaluate(Method::Sage(RetrieverKind::Bm25), models(), LlmProfile::gpt4(), &ds);
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.rouge, b.rouge);
+}
+
+#[test]
+fn stronger_llm_scores_higher() {
+    // Table XII / §VIII insight 3.
+    let ds = quality::generate(SizeConfig { num_docs: 6, questions_per_doc: 4, seed: 0x7D });
+    let strong =
+        evaluate(Method::Sage(RetrieverKind::OpenAiSim), models(), LlmProfile::gpt4(), &ds);
+    let weak = evaluate(
+        Method::Sage(RetrieverKind::OpenAiSim),
+        models(),
+        LlmProfile::unifiedqa_3b(),
+        &ds,
+    );
+    assert!(
+        strong.accuracy > weak.accuracy,
+        "gpt4 {} vs unifiedqa {}",
+        strong.accuracy,
+        weak.accuracy
+    );
+}
+
+#[test]
+fn unanswerable_questions_honoured() {
+    let ds = qasper::generate(SizeConfig { num_docs: 8, questions_per_doc: 4, seed: 0xAB });
+    let unanswerable: Vec<&QaTask> = ds
+        .tasks
+        .iter()
+        .filter(|t| t.item.kind == QuestionKind::Unanswerable)
+        .collect();
+    assert!(!unanswerable.is_empty());
+    let mut abstained = 0usize;
+    for task in &unanswerable {
+        let corpus = vec![ds.documents[task.doc].text()];
+        let system = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4(),
+            &corpus,
+        );
+        let r = system.answer_open(&task.item.question);
+        if r.answer.text == "unanswerable" {
+            abstained += 1;
+        }
+    }
+    let rate = abstained as f32 / unanswerable.len() as f32;
+    assert!(rate >= 0.5, "abstain rate {rate} too low");
+}
+
+#[test]
+fn feedback_loop_spends_more_tokens_when_struggling() {
+    // Questions with no evidence force extra rounds; clean questions pass
+    // in one round. The system's cost profile must reflect that.
+    let mut paragraphs =
+        vec!["Whiskers is a playful tabby cat. He has bright green eyes.".to_string()];
+    for i in 0..12 {
+        paragraphs.push(format!(
+            "The fog settled over the valley on day {i}, as it had for many years."
+        ));
+    }
+    let corpus = vec![paragraphs.join("\n")];
+    let system = RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &corpus,
+    );
+    let clean = system.answer_open("What is the color of Whiskers's eyes?");
+    let hopeless = system.answer_open("Where was Dorinwick born?");
+    // The judge accepts the grounded answer and rejects the hopeless one.
+    assert!(clean.feedback_score.unwrap() >= 9, "clean score {:?}", clean.feedback_score);
+    assert!(hopeless.feedback_score.unwrap() < 9, "hopeless score {:?}", hopeless.feedback_score);
+    // The hopeless question retrieves a wider (all-chunk) context, so it
+    // costs at least as much as the clean one.
+    assert!(hopeless.selected.len() >= clean.selected.len());
+    assert!(hopeless.cost.input_tokens >= clean.cost.input_tokens);
+    assert_eq!(hopeless.answer.text, "unanswerable");
+}

@@ -1,0 +1,323 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: tokenization, segmentation coverage, selection, metrics,
+//! vector search, and the cost model.
+
+use proptest::prelude::*;
+use sage::eval::{bleu, f1_match, meteor, rouge_l, Cost, PriceTable};
+use sage::rerank::{gradient_select, RankedChunk, SelectionConfig};
+use sage::segment::{Segmenter, SentenceSegmenter};
+use sage::text::{count_tokens, normalize, split_sentences, stem, tokenize};
+use sage::vecdb::{FlatIndex, HnswIndex, VectorIndex};
+
+/// Arbitrary "English-ish" text: words, punctuation, newlines.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => "[a-zA-Z]{1,10}",
+            1 => Just(".".to_string()),
+            1 => Just(",".to_string()),
+            1 => Just("\n".to_string()),
+            1 => Just("!".to_string()),
+        ],
+        0..60,
+    )
+    .prop_map(|words| words.join(" "))
+}
+
+proptest! {
+    #[test]
+    fn tokenize_yields_lowercase_nonempty(text in text_strategy()) {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn tokenize_is_idempotent_through_join(text in text_strategy()) {
+        let once = tokenize(&text);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn normalize_is_idempotent(text in text_strategy()) {
+        let once = normalize(&text);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn count_tokens_superadditive_parts(a in text_strategy(), b in text_strategy()) {
+        // Concatenation can only merge at one word boundary, so the joint
+        // count is close to the sum and never wildly above it.
+        let joint = count_tokens(&format!("{a} {b}"));
+        prop_assert!(joint <= count_tokens(&a) + count_tokens(&b) + 2);
+        prop_assert!(joint + 2 >= count_tokens(&a).max(count_tokens(&b)));
+    }
+
+    #[test]
+    fn stem_never_empties_long_words(word in "[a-z]{4,12}") {
+        let s = stem(&word);
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.len() <= word.len() + 1, "{word} -> {s}");
+    }
+
+    #[test]
+    fn sentences_are_nonempty_and_bounded(text in text_strategy()) {
+        let sentences = split_sentences(&text);
+        let words = text.split_whitespace().count();
+        prop_assert!(sentences.len() <= words + 1);
+        for s in &sentences {
+            prop_assert!(!s.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn sentence_segmenter_preserves_words(
+        text in text_strategy(),
+        budget in 5usize..200,
+    ) {
+        // Sentence counts can legitimately merge for unterminated
+        // fragments, but the word sequence must survive exactly.
+        let seg = SentenceSegmenter { max_tokens: budget };
+        let chunks = seg.segment(&text);
+        let original: Vec<&str> = text.split_whitespace().collect();
+        let rejoined = chunks.join(" ");
+        let after: Vec<&str> = rejoined.split_whitespace().collect();
+        prop_assert_eq!(original, after);
+    }
+
+    #[test]
+    fn gradient_select_invariants(
+        mut scores in proptest::collection::vec(0.0f32..1.0, 0..30),
+        min_k in 0usize..10,
+        g in 0.05f32..0.95,
+    ) {
+        scores.sort_by(|a, b| b.total_cmp(a));
+        let ranked: Vec<RankedChunk> = scores
+            .iter()
+            .enumerate()
+            .map(|(index, &score)| RankedChunk { index, score })
+            .collect();
+        let cfg = SelectionConfig { min_k, gradient: g, max_k: 20, ..SelectionConfig::default() };
+        let sel = gradient_select(&ranked, cfg);
+        // Bounds.
+        prop_assert!(sel.len() <= ranked.len().min(cfg.max_k));
+        if !ranked.is_empty() {
+            prop_assert!(sel.len() >= min_k.max(1).min(ranked.len()).min(cfg.max_k));
+        }
+        // Prefix property.
+        for (i, s) in sel.iter().enumerate() {
+            prop_assert_eq!(s.index, ranked[i].index);
+        }
+    }
+
+    #[test]
+    fn gradient_select_monotone_in_min_k(
+        mut scores in proptest::collection::vec(0.0f32..1.0, 1..30),
+        g in 0.05f32..0.95,
+    ) {
+        scores.sort_by(|a, b| b.total_cmp(a));
+        let ranked: Vec<RankedChunk> = scores
+            .iter()
+            .enumerate()
+            .map(|(index, &score)| RankedChunk { index, score })
+            .collect();
+        let mut last = 0usize;
+        for min_k in 1..10usize {
+            let cfg = SelectionConfig { min_k, gradient: g, max_k: 20, ..SelectionConfig::default() };
+            let n = gradient_select(&ranked, cfg).len();
+            prop_assert!(n >= last, "selection shrank as min_k grew");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn metrics_bounded_and_perfect_on_identity(text in "[a-z ]{1,40}") {
+        prop_assume!(!tokenize(&text).is_empty());
+        let refs = vec![text.clone()];
+        for metric in [rouge_l(&text, &refs), f1_match(&text, &refs)] {
+            prop_assert!((0.0..=1.0).contains(&metric));
+            prop_assert!(metric > 0.9, "identity should score ~1, got {metric}");
+        }
+        prop_assert!(bleu(&text, &refs, 1) > 0.9);
+        // METEOR's fragmentation penalty caps very short identical strings
+        // (a single matched token in a single chunk scores 0.5, as in the
+        // reference implementation); only require near-1 on longer texts.
+        let m = meteor(&text, &refs);
+        prop_assert!((0.0..=1.0).contains(&m));
+        if tokenize(&text).len() >= 3 {
+            prop_assert!(m > 0.9, "identity meteor on long text: {m}");
+        } else {
+            prop_assert!(m >= 0.5, "identity meteor on short text: {m}");
+        }
+    }
+
+    #[test]
+    fn metrics_bounded_on_arbitrary_pairs(a in text_strategy(), b in text_strategy()) {
+        let refs = vec![b];
+        for metric in [
+            rouge_l(&a, &refs),
+            f1_match(&a, &refs),
+            meteor(&a, &refs),
+            bleu(&a, &refs, 1),
+            bleu(&a, &refs, 4),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&metric), "metric {metric} out of range");
+        }
+    }
+
+    #[test]
+    fn flat_index_finds_stored_vector(
+        vecs in proptest::collection::vec(
+            proptest::collection::vec(-1.0f32..1.0, 4),
+            1..40,
+        ),
+        probe in 0usize..40,
+    ) {
+        // Keep only vectors with nonzero norm.
+        let vecs: Vec<Vec<f32>> = vecs
+            .into_iter()
+            .filter(|v| v.iter().map(|x| x * x).sum::<f32>() > 1e-3)
+            .collect();
+        prop_assume!(!vecs.is_empty());
+        let probe = probe % vecs.len();
+        let mut idx = FlatIndex::cosine();
+        for v in &vecs {
+            idx.add(v.clone());
+        }
+        let hits = idx.search(&vecs[probe], vecs.len());
+        // Scores sorted descending; top hit has cosine ~1 (itself or a
+        // colinear duplicate).
+        prop_assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+        prop_assert!(hits[0].score > 0.999, "top score {}", hits[0].score);
+    }
+
+    #[test]
+    fn hnsw_subset_of_valid_ids(
+        vecs in proptest::collection::vec(
+            proptest::collection::vec(-1.0f32..1.0, 4),
+            1..30,
+        ),
+        n in 1usize..10,
+    ) {
+        let vecs: Vec<Vec<f32>> = vecs
+            .into_iter()
+            .filter(|v| v.iter().map(|x| x * x).sum::<f32>() > 1e-3)
+            .collect();
+        prop_assume!(!vecs.is_empty());
+        let mut idx = HnswIndex::cosine();
+        for v in &vecs {
+            idx.add(v.clone());
+        }
+        let hits = idx.search(&vecs[0], n);
+        prop_assert!(!hits.is_empty());
+        prop_assert!(hits.len() <= n.min(vecs.len()));
+        let mut seen = std::collections::HashSet::new();
+        for h in &hits {
+            prop_assert!(h.id < vecs.len());
+            prop_assert!(seen.insert(h.id), "duplicate id {}", h.id);
+        }
+    }
+
+    #[test]
+    fn cost_merge_is_additive(
+        calls in proptest::collection::vec((0usize..10_000, 0usize..1_000), 0..20),
+    ) {
+        let mut total = Cost::zero();
+        let mut sum_in = 0u64;
+        let mut sum_out = 0u64;
+        for (i, o) in calls {
+            total.add_call(i, o);
+            sum_in += i as u64;
+            sum_out += o as u64;
+        }
+        prop_assert_eq!(total.input_tokens, sum_in);
+        prop_assert_eq!(total.output_tokens, sum_out);
+        prop_assert!(total.dollars(PriceTable::gpt4()) >= 0.0);
+        // Dollars monotone in prices.
+        prop_assert!(
+            total.dollars(PriceTable::gpt4()) >= total.dollars(PriceTable::gpt4o_mini())
+        );
+    }
+}
+
+// --- Serialization round-trips -------------------------------------------
+
+use sage::nn::io::BytesSerialize;
+use sage::nn::matrix::Matrix;
+use sage::nn::{Activation, EmbeddingTable, Mlp};
+
+proptest! {
+    #[test]
+    fn matrix_roundtrips_for_any_shape(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let m = Matrix::xavier(rows, cols, seed);
+        let back = Matrix::from_bytes(m.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn mlp_roundtrip_preserves_inference(
+        input in 1usize..8,
+        hidden in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mlp = Mlp::new(&[input, hidden, 1], Activation::Tanh, Activation::Sigmoid, seed);
+        let back = Mlp::from_bytes(mlp.to_bytes()).expect("roundtrip");
+        let x = Matrix::xavier(3, input, seed ^ 0xFF);
+        prop_assert_eq!(mlp.infer(&x), back.infer(&x));
+    }
+
+    #[test]
+    fn embedding_table_roundtrips(
+        buckets in 1usize..64,
+        dim in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let t = EmbeddingTable::new(buckets, dim, seed);
+        let back = EmbeddingTable::from_bytes(t.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(t.rows_flat(), back.rows_flat());
+    }
+
+    #[test]
+    fn truncated_blobs_never_panic(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        cut in 0usize..40,
+    ) {
+        let m = Matrix::xavier(rows, cols, 1);
+        let blob = m.to_bytes();
+        let cut = cut.min(blob.len());
+        let truncated = blob.slice(..cut);
+        // Must return None (or, for cut == len, Some) — never panic.
+        let parsed = Matrix::from_bytes(truncated);
+        if cut == blob.len() {
+            prop_assert!(parsed.is_some());
+        } else {
+            prop_assert!(parsed.is_none());
+        }
+    }
+
+    #[test]
+    fn retrieval_metrics_bounded(
+        relevant in proptest::collection::vec(proptest::bool::ANY, 0..30),
+        k in 1usize..35,
+    ) {
+        use sage::eval::{hit_rate_at_k, ndcg_at_k, precision_at_k, recall_at_k, reciprocal_rank};
+        for v in [
+            hit_rate_at_k(&relevant, k),
+            precision_at_k(&relevant, k),
+            recall_at_k(&relevant, k),
+            reciprocal_rank(&relevant),
+            ndcg_at_k(&relevant, k),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+        }
+        // Recall is monotone in k.
+        prop_assert!(recall_at_k(&relevant, k) <= recall_at_k(&relevant, k + 5) + 1e-6);
+    }
+}

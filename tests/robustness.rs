@@ -1,0 +1,232 @@
+//! Failure-injection and edge-case tests: the system must degrade
+//! gracefully — never panic — on degenerate corpora, degenerate questions,
+//! and unusual configurations.
+
+use sage::prelude::*;
+use std::sync::OnceLock;
+
+fn models() -> &'static TrainedModels {
+    static M: OnceLock<TrainedModels> = OnceLock::new();
+    M.get_or_init(|| TrainedModels::train(TrainBudget::tiny()))
+}
+
+fn build(corpus: &[String]) -> RagSystem {
+    RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        corpus,
+    )
+}
+
+#[test]
+fn empty_corpus_answers_unanswerable() {
+    let system = build(&[]);
+    assert_eq!(system.build_stats().chunk_count, 0);
+    let r = system.answer_open("Where does anyone live?");
+    assert_eq!(r.answer.text, "unanswerable");
+    assert!(r.selected.is_empty());
+}
+
+#[test]
+fn empty_string_document() {
+    let system = build(&[String::new()]);
+    let r = system.answer_open("Anything?");
+    assert_eq!(r.answer.text, "unanswerable");
+}
+
+#[test]
+fn single_sentence_corpus() {
+    let system = build(&["Whiskers has bright green eyes.".to_string()]);
+    let r = system.answer_open("What is the color of Whiskers's eyes?");
+    assert!(r.answer.text.contains("green"), "got {:?}", r.answer.text);
+}
+
+#[test]
+fn empty_question() {
+    let system = build(&["Some perfectly ordinary corpus text. It has sentences.".to_string()]);
+    let r = system.answer_open("");
+    assert_eq!(r.answer.text, "unanswerable");
+}
+
+#[test]
+fn punctuation_only_question() {
+    let system = build(&["Some corpus text lives here.".to_string()]);
+    let r = system.answer_open("???!!!...");
+    assert_eq!(r.answer.text, "unanswerable");
+}
+
+#[test]
+fn unicode_text_survives_the_pipeline() {
+    let corpus = vec![
+        "Ünïcøde Čát is a playful tabby cat. He has bright green eyes. \
+         日本語のテキストも入っています。\nThe fog settled over the valley."
+            .to_string(),
+    ];
+    let system = build(&corpus);
+    let r = system.answer_open("What is the color of Ünïcøde Čát's eyes?");
+    // Must not panic; answering correctly is a bonus (the tokenizer
+    // lowercases unicode correctly, so it usually does).
+    assert!(!r.answer.text.is_empty());
+}
+
+#[test]
+fn very_long_single_paragraph_is_bounded_by_coarse_cap() {
+    // A paragraph-free wall of text must still be cut into <= l-token
+    // chunks by the coarse cap inside the semantic segmenter.
+    let mut text = String::new();
+    for i in 0..400 {
+        text.push_str(&format!("Sentence number {i} rolls on through the long text. "));
+    }
+    let system = build(&[text]);
+    let stats = system.build_stats();
+    assert!(stats.chunk_count >= 3, "coarse cap must split: {} chunks", stats.chunk_count);
+    for chunk in system.chunks() {
+        assert!(
+            sage::text::count_tokens(chunk) <= 500,
+            "chunk exceeds the coarse budget: {} tokens",
+            sage::text::count_tokens(chunk)
+        );
+    }
+}
+
+#[test]
+fn duplicate_documents_do_not_break_retrieval() {
+    let doc = "Dorinwick was well known in the region. He lives in Ashford.".to_string();
+    let system = build(&[doc.clone(), doc.clone(), doc]);
+    let r = system.answer_open("Where does Dorinwick live?");
+    assert!(r.answer.text.contains("ashford"), "got {:?}", r.answer.text);
+}
+
+#[test]
+fn multiple_choice_with_one_option() {
+    let system = build(&["Whiskers has bright green eyes.".to_string()]);
+    let options = vec!["green".to_string()];
+    let r = system.answer_multiple_choice("What color are Whiskers's eyes?", &options);
+    assert_eq!(r.picked_option, Some(0));
+}
+
+#[test]
+fn min_k_larger_than_chunk_count() {
+    let corpus = vec!["One short paragraph only. It has two sentences.".to_string()];
+    let system = RagSystem::build(
+        models(),
+        RetrieverKind::Bm25,
+        SageConfig { min_k: 50, ..SageConfig::sage() },
+        LlmProfile::gpt4o_mini(),
+        &corpus,
+    );
+    let r = system.answer_open("What does the paragraph say?");
+    assert!(r.selected.len() <= system.chunks().len());
+}
+
+#[test]
+fn answer_with_chunks_respects_explicit_ids() {
+    let corpus = vec![
+        "Whiskers is a playful tabby cat. He has bright green eyes.\n\
+         Patchy is a ferret. Patchy has bright orange eyes."
+            .to_string(),
+    ];
+    let system = build(&corpus);
+    // Force the distractor-only context: the reader must not see "green".
+    let patchy_chunk = system
+        .chunks()
+        .iter()
+        .position(|c| c.contains("Patchy"))
+        .expect("patchy chunk");
+    let r = system.answer_with_chunks(
+        "What is the color of Whiskers's eyes?",
+        &[patchy_chunk],
+        None,
+    );
+    assert!(
+        !r.answer.text.contains("green"),
+        "answer must come only from the provided chunk: {:?}",
+        r.answer.text
+    );
+    assert_eq!(r.selected, vec![patchy_chunk]);
+}
+
+#[test]
+fn candidates_are_consistent_with_answering() {
+    let corpus = vec![
+        "Dorinwick was well known in the region. He lives in Ashford.\n\
+         The fog settled over the valley, as it had for years."
+            .to_string(),
+    ];
+    let system = build(&corpus);
+    let (cand_ids, ranked) = system.candidates("Where does Dorinwick live?");
+    assert_eq!(cand_ids.len(), ranked.len().max(cand_ids.len()));
+    assert!(!ranked.is_empty());
+    // Ranked scores descending; positions index into cand_ids.
+    for w in ranked.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+    let top_chunk = cand_ids[ranked[0].index];
+    assert!(system.chunks()[top_chunk].contains("Dorinwick"));
+}
+
+#[test]
+fn all_llm_profiles_run_the_full_pipeline() {
+    let corpus = vec!["Whiskers is a tabby cat. He has bright green eyes.".to_string()];
+    for profile in [
+        LlmProfile::gpt4(),
+        LlmProfile::gpt4o_mini(),
+        LlmProfile::gpt35_turbo(),
+        LlmProfile::unifiedqa_3b(),
+    ] {
+        let system = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            profile,
+            &corpus,
+        );
+        let r = system.answer_open("What is the color of Whiskers's eyes?");
+        assert!(!r.answer.text.is_empty(), "{} returned empty", profile.name);
+    }
+}
+
+#[test]
+fn incremental_add_documents_extends_retrieval() {
+    let mut system = build(&["Whiskers is a tabby cat. He has bright green eyes.".to_string()]);
+    let before = system.build_stats().chunk_count;
+    let miss = system.answer_open("Where does Dorinwick live?");
+    assert_eq!(miss.answer.text, "unanswerable");
+    system.add_documents(
+        models(),
+        &["Dorinwick was well known in the region. He lives in Ashford.".to_string()],
+    );
+    assert!(system.build_stats().chunk_count > before);
+    let hit = system.answer_open("Where does Dorinwick live?");
+    assert!(hit.answer.text.contains("ashford"), "got {:?}", hit.answer.text);
+    // Old content still answerable.
+    let old = system.answer_open("What is the color of Whiskers's eyes?");
+    assert!(old.answer.text.contains("green"));
+}
+
+#[test]
+fn answer_batch_matches_serial() {
+    let system = build(&[
+        "Whiskers is a tabby cat. He has bright green eyes.\n\
+         Dorinwick was well known in the region. He lives in Ashford."
+            .to_string(),
+    ]);
+    let questions: Vec<String> = vec![
+        "What is the color of Whiskers's eyes?".into(),
+        "Where does Dorinwick live?".into(),
+        "What is Dorinwick's profession?".into(),
+    ];
+    let serial: Vec<String> =
+        questions.iter().map(|q| system.answer_open(q).answer.text).collect();
+    for workers in [1usize, 2, 8] {
+        let batch: Vec<String> = system
+            .answer_batch(&questions, workers)
+            .into_iter()
+            .map(|r| r.answer.text)
+            .collect();
+        assert_eq!(batch, serial, "workers={workers}");
+    }
+    assert!(system.answer_batch(&[], 4).is_empty());
+}
