@@ -59,8 +59,9 @@ pub fn query(flags: &Flags) -> Result<(), String> {
     let path = flags.require("index")?;
     let question = flags.require("question")?;
     let profile = parse_llm(flags.get_or("llm", "gpt4o-mini"))?;
-    let system = RagSystem::load(std::path::Path::new(path), profile)
+    let mut system = RagSystem::load(std::path::Path::new(path), profile)
         .map_err(|e| format!("cannot load index {path}: {e}"))?;
+    apply_resilience(flags, &mut system)?;
     let result = system.answer_open(question);
     println!("{}", result.answer.text);
     eprintln!(
@@ -70,6 +71,7 @@ pub fn query(flags: &Flags) -> Result<(), String> {
         result.cost.total_tokens(),
         result.cost.dollars(profile.prices),
     );
+    report_degradation(&result.degraded, &system);
     Ok(())
 }
 
@@ -96,6 +98,47 @@ fn load_corpus(path: &str) -> Result<Vec<String>, String> {
         return Err(format!("{path} contains no text"));
     }
     Ok(vec![paragraphs.join("\n")])
+}
+
+/// Apply the resilience flags: `--resilience` (guards with no faults),
+/// `--faults <spec>` (e.g. `reader=transient:0.5,embedder=timeout:1.0`),
+/// `--fault-seed <n>` (injection seed), `--hnsw` (serve dense retrieval
+/// through an ANN tier that degrades to the exact flat scan).
+fn apply_resilience(flags: &Flags, system: &mut RagSystem) -> Result<(), String> {
+    if !(flags.has("resilience") || flags.has("faults") || flags.has("hnsw")) {
+        return Ok(());
+    }
+    let seed: u64 = flags.get_parse("fault-seed", 0u64)?;
+    let plan = match flags.get("faults") {
+        Some(spec) if !spec.is_empty() => FaultPlan::parse_spec(spec, seed)?,
+        _ => FaultPlan::none(),
+    };
+    system.enable_resilience(ResilienceConfig {
+        plan,
+        use_hnsw: flags.has("hnsw"),
+        ..ResilienceConfig::default()
+    });
+    Ok(())
+}
+
+/// Report degraded-mode serving: the per-query trace, then the system-wide
+/// fallback counters. Prints nothing when resilience is disabled.
+fn report_degradation(trace: &DegradeTrace, system: &RagSystem) {
+    for e in &trace.events {
+        eprintln!(
+            "degraded: {:?} -> {} after {} attempt(s) (+{:.0?} virtual delay)",
+            e.component, e.fallback, e.attempts, e.delay
+        );
+    }
+    if let Some(counters) = system.fallback_counters() {
+        if counters.is_empty() {
+            eprintln!("fallbacks: none (served on the primary path)");
+        } else {
+            let parts: Vec<String> =
+                counters.iter().map(|(label, n)| format!("{label}={n}")).collect();
+            eprintln!("fallbacks: {}", parts.join(" "));
+        }
+    }
 }
 
 fn parse_retriever(name: &str) -> Result<RetrieverKind, String> {
@@ -149,7 +192,8 @@ pub fn ask(flags: &Flags) -> Result<(), String> {
     let profile = parse_llm(flags.get_or("llm", "gpt4o-mini"))?;
     let config = if flags.has("naive") { SageConfig::naive_rag() } else { SageConfig::sage() };
 
-    let system = RagSystem::build(resolve_models(flags)?, retriever, config, profile, &corpus);
+    let mut system = RagSystem::build(resolve_models(flags)?, retriever, config, profile, &corpus);
+    apply_resilience(flags, &mut system)?;
     let result = system.answer_open(question);
     println!("{}", result.answer.text);
     eprintln!(
@@ -165,6 +209,7 @@ pub fn ask(flags: &Flags) -> Result<(), String> {
             eprintln!("  [ctx {id}] {}", system.chunks()[id]);
         }
     }
+    report_degradation(&result.degraded, &system);
     Ok(())
 }
 
@@ -272,6 +317,18 @@ USAGE:
 All commands accept --models <path> to reuse a saved bundle instead of
 training at startup.
 
+RESILIENCE (ask, query):
+  --resilience          guard component boundaries (retry + circuit breaker)
+                        and degrade instead of failing
+  --faults <spec>       inject deterministic faults, e.g.
+                        \"reader=transient:0.5,embedder=timeout:1.0\"
+                        (components: embedder|index|reranker|reader;
+                         kinds: transient|timeout|corrupt|panic)
+  --fault-seed <n>      seed for the injection stream (default 0)
+  --hnsw                serve dense retrieval through an ANN (HNSW) tier
+                        that degrades to the exact flat scan on failure
+  Degraded-mode events and fallback counters are reported on stderr.
+
 Corpus files: paragraphs separated by blank lines."
     );
 }
@@ -304,6 +361,41 @@ mod tests {
         assert_eq!(corpus.len(), 1);
         assert_eq!(corpus[0], "line one line two\nsecond para");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resilience_flags_enable_guards_and_reject_bad_specs() {
+        let models = TrainedModels::train(TrainBudget::tiny());
+        let corpus = vec!["Whiskers is a playful tabby cat. He has bright green eyes.".to_string()];
+        let mut system = RagSystem::build(
+            &models,
+            RetrieverKind::Bm25,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &corpus,
+        );
+        let argv = |items: &[&str]| -> Vec<String> { items.iter().map(|s| s.to_string()).collect() };
+
+        // No flags: the layer stays off.
+        let none = crate::args::parse_flags(&[]).unwrap();
+        apply_resilience(&none, &mut system).unwrap();
+        assert!(!system.resilience_enabled());
+
+        // A fault spec implies resilience; counters start clean.
+        let f = crate::args::parse_flags(&argv(&[
+            "--faults",
+            "reader=transient:0.5",
+            "--fault-seed",
+            "7",
+        ]))
+        .unwrap();
+        apply_resilience(&f, &mut system).unwrap();
+        assert!(system.resilience_enabled());
+        assert!(system.fallback_counters().unwrap().is_empty());
+
+        // Malformed specs surface as CLI errors, not panics.
+        let bad = crate::args::parse_flags(&argv(&["--faults", "reader=warp:0.5"])).unwrap();
+        assert!(apply_resilience(&bad, &mut system).is_err());
     }
 
     #[test]

@@ -216,6 +216,7 @@ fn answer_with_context(
         retrieval_latency,
         feedback_latency: Duration::ZERO,
         feedback_score: None,
+        degraded: sage_resilience::DegradeTrace::new(),
     }
 }
 

@@ -21,6 +21,9 @@
 //! * [`case_studies`] — the Figure 8/9/10 single-question drivers.
 //! * [`multihop`] — the paper's future-work §X(1): iterative multi-hop
 //!   retrieval (Baleen-style), with its own synthetic 2-hop tasks.
+//! * [`resilience`] — the serving-path fault-injection and
+//!   graceful-degradation layer (guarded component boundaries, retries,
+//!   per-query circuit breakers, the documented fallback chain).
 
 pub mod baselines;
 pub mod case_studies;
@@ -30,8 +33,10 @@ pub mod models;
 pub mod multihop;
 pub mod persist;
 pub mod pipeline;
+pub mod resilience;
 pub mod scalability;
 
 pub use config::{RetrieverKind, SageConfig};
 pub use models::TrainedModels;
 pub use pipeline::{BuildStats, QueryResult, RagSystem};
+pub use resilience::ResilienceConfig;

@@ -162,7 +162,7 @@ mod tests {
                 } else {
                     answer_singlehop(&system, t)
                 };
-                f1_match(&r.answer.text, &[t.answer.clone()])
+                f1_match(&r.answer.text, std::slice::from_ref(&t.answer))
             })
             .collect();
         scores.iter().sum::<f32>() / scores.len() as f32
@@ -209,7 +209,7 @@ mod tests {
                     } else {
                         answer_singlehop(&system, t)
                     };
-                    f1_match(&r.answer.text, &[t.answer.clone()])
+                    f1_match(&r.answer.text, std::slice::from_ref(&t.answer))
                 })
                 .sum::<f32>()
                 / ds.tasks.len() as f32

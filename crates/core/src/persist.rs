@@ -128,6 +128,12 @@ impl RagSystem {
             _ => return None,
         };
         let n = get_u32(&mut bytes)? as usize;
+        // `n` is untrusted: a bit-flipped count must not pre-allocate
+        // gigabytes. Every chunk consumes at least a 4-byte length prefix,
+        // so `remaining` bounds any plausible count.
+        if n > bytes.remaining() {
+            return None;
+        }
         let mut chunks = Vec::with_capacity(n);
         for _ in 0..n {
             chunks.push(get_string(&mut bytes)?);
@@ -280,6 +286,88 @@ mod tests {
         assert!(
             RagSystem::from_bytes(Bytes::from_static(b"SAGESYS1x"), LlmProfile::gpt4()).is_none()
         );
+    }
+
+    /// Sampled positions across a blob: every early offset (headers and
+    /// counts live there) plus an even spread over the payload.
+    fn sample_positions(len: usize) -> Vec<usize> {
+        let mut pos: Vec<usize> = (0..len.min(96)).collect();
+        let stride = (len / 64).max(1);
+        pos.extend((96..len).step_by(stride));
+        pos
+    }
+
+    #[test]
+    fn truncated_system_blobs_never_panic() {
+        let system = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &corpus(),
+        );
+        let blob = system.to_bytes();
+        for cut in sample_positions(blob.len()) {
+            // Any prefix must be rejected (or, never, accepted) without
+            // panicking or allocating absurdly.
+            let _ = RagSystem::from_bytes(blob.slice(..cut), LlmProfile::gpt4o_mini());
+        }
+        assert!(
+            RagSystem::from_bytes(blob.slice(..blob.len() - 1), LlmProfile::gpt4o_mini())
+                .is_none(),
+            "one missing byte must not load"
+        );
+    }
+
+    #[test]
+    fn bit_flipped_system_blobs_never_panic() {
+        let system = RagSystem::build(
+            models(),
+            RetrieverKind::Bm25,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &corpus(),
+        );
+        let blob = system.to_bytes().to_vec();
+        for pos in sample_positions(blob.len()) {
+            for bit in [0, 3, 7] {
+                let mut flipped = blob.clone();
+                flipped[pos] ^= 1 << bit;
+                // Must return (Some or None), never panic or abort.
+                let _ = RagSystem::from_bytes(Bytes::from(flipped), LlmProfile::gpt4o_mini());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_model_blobs_never_panic() {
+        // The model blob is megabytes of floats; sample sparsely (headers
+        // densely, payload at a few offsets) to keep the test fast.
+        let blob = models().to_bytes();
+        let mut positions: Vec<usize> = (0..64.min(blob.len())).collect();
+        positions.extend((64..blob.len()).step_by((blob.len() / 8).max(1)));
+        for &cut in &positions {
+            let _ = TrainedModels::from_bytes(blob.slice(..cut));
+        }
+        let raw = blob.to_vec();
+        for &pos in &positions {
+            let mut flipped = raw.clone();
+            flipped[pos] ^= 0x10;
+            let _ = TrainedModels::from_bytes(Bytes::from(flipped));
+        }
+        assert!(TrainedModels::from_bytes(blob.slice(..blob.len() / 2)).is_none());
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_without_allocation() {
+        // A header that claims u32::MAX chunks backed by no data: the
+        // count guard must reject it before `Vec::with_capacity` runs.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        write_config(&SageConfig::sage(), &mut buf);
+        buf.put_u8(3); // RetrieverKind::Bm25
+        buf.put_u32_le(u32::MAX); // hostile chunk count
+        assert!(RagSystem::from_bytes(buf.freeze(), LlmProfile::gpt4o_mini()).is_none());
     }
 
     #[test]

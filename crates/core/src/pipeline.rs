@@ -3,14 +3,17 @@
 
 use crate::config::{RetrieverKind, SageConfig};
 use crate::models::TrainedModels;
+use crate::resilience::{QueryGuards, ResilienceConfig, ResilienceState};
 use sage_embed::HashedEmbedder;
 use sage_eval::Cost;
 use sage_llm::{Answer, LlmProfile, SimLlm};
 use sage_rerank::{gradient_select, CrossScorer, RankedChunk, SelectionConfig};
 use sage_embed::{DualEncoder, SiameseEncoder};
+use sage_resilience::{Component, DegradeEvent, DegradeTrace, Failure, Fallback, SageError};
 use sage_retrieval::{Bm25Retriever, DenseRetriever, Retriever, ScoredChunk};
 use sage_segment::{Segmenter, SemanticSegmenter, SentenceSegmenter};
-use sage_vecdb::FlatIndex;
+use sage_vecdb::{FlatIndex, VectorIndex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Offline build statistics (the left half of Tables VIII/IX).
@@ -50,6 +53,10 @@ pub struct QueryResult {
     pub feedback_latency: Duration,
     /// Feedback score of the returned answer, when feedback ran.
     pub feedback_score: Option<u8>,
+    /// Fallbacks fired while serving this question. Empty (`is_clean`)
+    /// when the whole pipeline ran on its primary path — always the case
+    /// when resilience is disabled.
+    pub degraded: DegradeTrace,
 }
 
 /// The concrete retriever variants a [`RagSystem`] can hold. A closed enum
@@ -93,6 +100,43 @@ impl AnyRetriever {
         self.as_dyn().memory_bytes()
     }
 
+    /// Embed a query with the dense embedder (`None` for BM25) — the first
+    /// half of `retrieve`, exposed as its own failure domain.
+    fn embed_query(&self, query: &str) -> Option<Vec<f32>> {
+        match self {
+            AnyRetriever::Hashed(r) => Some(r.embed_query(query)),
+            AnyRetriever::Sbert(r) => Some(r.embed_query(query)),
+            AnyRetriever::Dpr(r) => Some(r.embed_query(query)),
+            AnyRetriever::Bm25(_) => None,
+        }
+    }
+
+    /// Exact flat-index search over an already-embedded query (`None` for
+    /// BM25) — the second half of `retrieve`.
+    fn search_dense(&self, query: &[f32], n: usize) -> Option<Vec<ScoredChunk>> {
+        match self {
+            AnyRetriever::Hashed(r) => Some(r.search_with(query, n)),
+            AnyRetriever::Sbert(r) => Some(r.search_with(query, n)),
+            AnyRetriever::Dpr(r) => Some(r.search_with(query, n)),
+            AnyRetriever::Bm25(_) => None,
+        }
+    }
+
+    /// Whether this is a dense (embedder + vector index) variant.
+    fn is_dense(&self) -> bool {
+        !matches!(self, AnyRetriever::Bm25(_))
+    }
+
+    /// The underlying flat index of dense variants.
+    pub(crate) fn flat_ref(&self) -> Option<&FlatIndex> {
+        match self {
+            AnyRetriever::Hashed(r) => Some(r.index_ref()),
+            AnyRetriever::Sbert(r) => Some(r.index_ref()),
+            AnyRetriever::Dpr(r) => Some(r.index_ref()),
+            AnyRetriever::Bm25(_) => None,
+        }
+    }
+
     /// Persistence hook: (embedder blob, flat-index ref) for dense
     /// variants; `None` for BM25 (which rebuilds from the chunk store).
     pub(crate) fn dense_state(&self) -> Option<(bytes::Bytes, &FlatIndex)> {
@@ -106,6 +150,22 @@ impl AnyRetriever {
     }
 }
 
+/// Append one fired fallback to a query's degradation trace.
+fn push_event(
+    trace: &mut DegradeTrace,
+    component: Component,
+    fallback: Fallback,
+    failure: Failure,
+) {
+    trace.events.push(DegradeEvent {
+        component,
+        fallback,
+        error: failure.error,
+        attempts: failure.attempts,
+        delay: failure.delay,
+    });
+}
+
 /// A built RAG system over one corpus.
 pub struct RagSystem {
     config: SageConfig,
@@ -115,6 +175,9 @@ pub struct RagSystem {
     scorer: Option<CrossScorer>,
     llm: SimLlm,
     stats: BuildStats,
+    /// Runtime-only serving-path resilience (never persisted); `None`
+    /// means guards are off and every query runs the bare primary path.
+    resilience: Option<ResilienceState>,
 }
 
 impl RagSystem {
@@ -181,7 +244,16 @@ impl RagSystem {
             corpus_tokens,
             memory_bytes,
         };
-        Self { config, kind, chunks, retriever, scorer, llm: SimLlm::new(profile), stats }
+        Self {
+            config,
+            kind,
+            chunks,
+            retriever,
+            scorer,
+            llm: SimLlm::new(profile),
+            stats,
+            resilience: None,
+        }
     }
 
     /// Incrementally add documents to a built system: new text is
@@ -210,17 +282,74 @@ impl RagSystem {
         self.stats.corpus_tokens += corpus.iter().map(|d| sage_text::count_tokens(d)).sum::<usize>();
         self.stats.memory_bytes = self.retriever.memory_bytes()
             + self.chunks.iter().map(|c| c.capacity()).sum::<usize>();
+        // Fallback tiers index the same chunk store; keep them in sync.
+        if let Some(state) = &mut self.resilience {
+            state.reindex(&self.chunks, self.retriever.flat_ref());
+        }
+    }
+
+    /// Turn on the serving-path resilience layer: guarded component
+    /// boundaries, retries with virtual-time backoff, per-query circuit
+    /// breakers, and the documented degradation chain. Builds the fallback
+    /// tiers (BM25 postings; optionally an HNSW tier over the dense index).
+    ///
+    /// With `config.plan` empty and `config.use_hnsw == false`, answers are
+    /// identical to the unguarded path — the guards only add validation.
+    pub fn enable_resilience(&mut self, config: ResilienceConfig) {
+        self.resilience =
+            Some(ResilienceState::build(config, &self.chunks, self.retriever.flat_ref()));
+    }
+
+    /// Turn the resilience layer off (drops fallback tiers and counters).
+    pub fn disable_resilience(&mut self) {
+        self.resilience = None;
+    }
+
+    /// Whether the resilience layer is active.
+    pub fn resilience_enabled(&self) -> bool {
+        self.resilience.is_some()
+    }
+
+    /// Degraded-mode report: `(fallback label, fire count)` pairs, nonzero
+    /// entries only, since resilience was enabled. `None` when disabled.
+    pub fn fallback_counters(&self) -> Option<Vec<(&'static str, u64)>> {
+        self.resilience.as_ref().map(|s| s.counters.snapshot())
     }
 
     /// Answer many open-ended questions with `workers` threads. Results
     /// align with the input order; answers are identical to serial calls
     /// (the reader is deterministic per question).
+    ///
+    /// A question whose pipeline panics aborts the whole batch by
+    /// re-raising the panic on the caller's thread (the pre-resilience
+    /// contract). Use [`RagSystem::try_answer_batch`] to isolate panics
+    /// per question instead.
     pub fn answer_batch(&self, questions: &[String], workers: usize) -> Vec<QueryResult> {
+        self.try_answer_batch(questions, workers)
+            .into_iter()
+            .map(|r| match r {
+                Ok(result) => result,
+                Err(e) => panic!("question failed: {e}"),
+            })
+            .collect()
+    }
+
+    /// [`RagSystem::answer_batch`] with per-question panic isolation: a
+    /// panic anywhere in one question's pipeline (an injected `panic`
+    /// fault, a bug) is caught at this boundary and surfaced as
+    /// `Err(SageError::Panicked)` in that question's slot, while every
+    /// other question completes normally. Results align with input order.
+    pub fn try_answer_batch(
+        &self,
+        questions: &[String],
+        workers: usize,
+    ) -> Vec<Result<QueryResult, SageError>> {
         if questions.is_empty() {
             return Vec::new();
         }
         let workers = workers.clamp(1, questions.len());
-        let mut results: Vec<Option<QueryResult>> = (0..questions.len()).map(|_| None).collect();
+        let mut results: Vec<Option<Result<QueryResult, SageError>>> =
+            (0..questions.len()).map(|_| None).collect();
         let indexed: Vec<(usize, &String)> = questions.iter().enumerate().collect();
         std::thread::scope(|s| {
             let mut handles = Vec::new();
@@ -228,16 +357,42 @@ impl RagSystem {
                 let mine: Vec<(usize, &String)> =
                     indexed.iter().skip(w).step_by(workers).copied().collect();
                 handles.push(s.spawn(move || {
-                    mine.into_iter().map(|(i, q)| (i, self.answer_open(q))).collect::<Vec<_>>()
+                    mine.into_iter()
+                        .map(|(i, q)| (i, self.try_answer_open(q)))
+                        .collect::<Vec<_>>()
                 }));
             }
             for h in handles {
-                for (i, r) in h.join().expect("answer worker panicked") {
-                    results[i] = Some(r);
+                // Workers cannot panic (each question is caught inside),
+                // but degrade gracefully if one somehow does: its questions
+                // stay `None` and are filled with a structured error below.
+                if let Ok(batch) = h.join() {
+                    for (i, r) in batch {
+                        results[i] = Some(r);
+                    }
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("all questions answered")).collect()
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or(Err(SageError::Panicked {
+                    detail: "answer worker died before reporting".to_string(),
+                }))
+            })
+            .collect()
+    }
+
+    /// Answer one open-ended question with panic isolation: a panic
+    /// anywhere in the pipeline becomes `Err(SageError::Panicked)`.
+    pub fn try_answer_open(&self, question: &str) -> Result<QueryResult, SageError> {
+        catch_unwind(AssertUnwindSafe(|| self.answer_open(question))).map_err(|payload| {
+            let err = SageError::from_panic(payload);
+            if let Some(state) = &self.resilience {
+                state.counters.record(Fallback::PanicIsolated);
+            }
+            err
+        })
     }
 
     /// The retriever kind this system was built with.
@@ -276,7 +431,16 @@ impl RagSystem {
             corpus_tokens,
             memory_bytes,
         };
-        Self { config, kind, chunks, retriever, scorer, llm: SimLlm::new(profile), stats }
+        Self {
+            config,
+            kind,
+            chunks,
+            retriever,
+            scorer,
+            llm: SimLlm::new(profile),
+            stats,
+            resilience: None,
+        }
     }
 
     /// The chunk store.
@@ -300,20 +464,153 @@ impl RagSystem {
     }
 
     /// Retrieve + rerank once; returns (candidate chunk ids, ranked list
-    /// over candidate positions).
+    /// over candidate positions). Unguarded primary path.
     fn retrieve_ranked(&self, question: &str) -> (Vec<usize>, Vec<RankedChunk>) {
-        let hits = self.retriever.retrieve(question, self.config.candidates);
+        let mut trace = DegradeTrace::new();
+        self.retrieve_ranked_with(question, None, &mut trace)
+    }
+
+    /// First-stage retrieval under the degradation chain. Dense systems
+    /// guard the embedder and the vector search separately: an exhausted
+    /// HNSW tier degrades to the exact flat scan, an exhausted embedder or
+    /// flat scan degrades to BM25. BM25-primary systems have no deeper
+    /// tier and run unguarded (the sparse index is the chain's last
+    /// resort by construction — pure CPU inverted-index lookup).
+    fn first_stage(
+        &self,
+        question: &str,
+        guards: Option<&QueryGuards<'_>>,
+        trace: &mut DegradeTrace,
+    ) -> Vec<ScoredChunk> {
+        let n = self.config.candidates;
+        let Some(g) = guards.filter(|_| self.retriever.is_dense()) else {
+            return self.retriever.retrieve(question, n);
+        };
+
+        let embedded = g.guard(Component::Embedder).run(
+            Component::Embedder,
+            question,
+            || self.retriever.embed_query(question).expect("dense retriever"),
+            |v| {
+                for x in v.iter_mut() {
+                    *x = f32::NAN;
+                }
+            },
+            |v| !v.is_empty() && v.iter().all(|x| x.is_finite()),
+        );
+        let query_vec = match embedded {
+            Ok(v) => v,
+            Err(failure) => {
+                push_event(trace, Component::Embedder, Fallback::DenseToBm25, failure);
+                return g.state.bm25.retrieve(question, n);
+            }
+        };
+
+        let finite_scores =
+            |hits: &Vec<ScoredChunk>| hits.iter().all(|h: &ScoredChunk| h.score.is_finite());
+        let poison_scores = |hits: &mut Vec<ScoredChunk>| {
+            for h in hits.iter_mut() {
+                h.score = f32::NAN;
+            }
+            if hits.is_empty() {
+                hits.push(ScoredChunk { index: 0, score: f32::NAN });
+            }
+        };
+
+        if let Some(hnsw) = &g.state.hnsw {
+            let approx = g.guard(Component::IndexSearch).run(
+                Component::IndexSearch,
+                question,
+                || {
+                    hnsw.search(&query_vec, n)
+                        .into_iter()
+                        .map(|h| ScoredChunk { index: h.id, score: h.score })
+                        .collect::<Vec<_>>()
+                },
+                poison_scores,
+                finite_scores,
+            );
+            return match approx {
+                Ok(hits) => hits,
+                Err(failure) => {
+                    push_event(trace, Component::IndexSearch, Fallback::HnswToFlat, failure);
+                    // The exact scan is the ANN tier's fallback, not
+                    // another instance of the same failing component —
+                    // it runs unguarded so a fully-failed ANN index
+                    // still serves exact results.
+                    self.retriever.search_dense(&query_vec, n).expect("dense retriever")
+                }
+            };
+        }
+
+        let exact = g.guard(Component::IndexSearch).run(
+            Component::IndexSearch,
+            question,
+            || self.retriever.search_dense(&query_vec, n).expect("dense retriever"),
+            poison_scores,
+            finite_scores,
+        );
+        match exact {
+            Ok(hits) => hits,
+            Err(failure) => {
+                push_event(trace, Component::IndexSearch, Fallback::DenseToBm25, failure);
+                g.state.bm25.retrieve(question, n)
+            }
+        }
+    }
+
+    /// Retrieve + rerank under the degradation chain: an exhausted
+    /// reranker falls back to the first-stage retrieval order.
+    fn retrieve_ranked_with(
+        &self,
+        question: &str,
+        guards: Option<&QueryGuards<'_>>,
+        trace: &mut DegradeTrace,
+    ) -> (Vec<usize>, Vec<RankedChunk>) {
+        let hits = self.first_stage(question, guards, trace);
         let cand_ids: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        let retrieval_order = |hits: &[ScoredChunk]| {
+            hits.iter()
+                .enumerate()
+                .map(|(pos, h)| RankedChunk { index: pos, score: h.score })
+                .collect::<Vec<_>>()
+        };
         let ranked = match &self.scorer {
             Some(scorer) => {
                 let texts: Vec<&str> = cand_ids.iter().map(|&i| self.chunks[i].as_str()).collect();
-                scorer.rerank(question, &texts)
+                match guards {
+                    None => scorer.rerank(question, &texts),
+                    Some(g) => {
+                        let reranked = g.guard(Component::Reranker).run(
+                            Component::Reranker,
+                            question,
+                            || scorer.rerank(question, &texts),
+                            |rl| {
+                                for r in rl.iter_mut() {
+                                    r.score = f32::NAN;
+                                }
+                            },
+                            |rl| {
+                                rl.len() == texts.len()
+                                    && rl.iter().all(|r| r.score.is_finite())
+                            },
+                        );
+                        match reranked {
+                            Ok(rl) => rl,
+                            Err(failure) => {
+                                push_event(
+                                    trace,
+                                    Component::Reranker,
+                                    Fallback::RerankToRetrievalOrder,
+                                    failure,
+                                );
+                                retrieval_order(&hits)
+                            }
+                        }
+                    }
+                }
             }
-            None => hits
-                .iter()
-                .enumerate()
-                .map(|(pos, h)| RankedChunk { index: pos, score: h.score })
-                .collect(),
+            None => retrieval_order(&hits),
         };
         (cand_ids, ranked)
     }
@@ -378,6 +675,7 @@ impl RagSystem {
             retrieval_latency: Duration::ZERO,
             feedback_latency: Duration::ZERO,
             feedback_score: None,
+            degraded: DegradeTrace::new(),
         }
     }
 
@@ -391,10 +689,127 @@ impl RagSystem {
         self.run(question, Some(options))
     }
 
-    /// The Figure-2 query loop.
+    /// One guarded generation call. `key` is the determinism handle (the
+    /// question for the primary context, a derived key for the retry so
+    /// the two calls draw independent fault decisions).
+    fn guarded_generate(
+        &self,
+        question: &str,
+        options: Option<&[String]>,
+        context: &[String],
+        key: &str,
+        g: &QueryGuards<'_>,
+    ) -> Result<(Option<usize>, Answer), Failure> {
+        let guard = g.guard(Component::Reader);
+        match options {
+            Some(opts) => guard.run(
+                Component::Reader,
+                key,
+                || {
+                    let (idx, a) = self.llm.answer_multiple_choice(question, opts, context);
+                    (Some(idx), a)
+                },
+                |(pick, a)| {
+                    a.text.clear();
+                    a.confidence = f32::NAN;
+                    *pick = None;
+                },
+                |(pick, a)| a.is_wellformed() && pick.is_some_and(|i| i < opts.len()),
+            ),
+            None => guard.run(
+                Component::Reader,
+                key,
+                || (None, self.llm.answer_open(question, context)),
+                |(_, a)| {
+                    a.text.clear();
+                    a.confidence = f32::NAN;
+                },
+                |(_, a)| a.is_wellformed(),
+            ),
+        }
+    }
+
+    /// The reader leg of the degradation chain. Returns `None` when both
+    /// the primary and the second-best context are exhausted (the caller
+    /// degrades to an unanswerable answer); otherwise the generation
+    /// result plus the chunk ids actually used.
+    #[allow(clippy::too_many_arguments)]
+    fn read_with_fallback(
+        &self,
+        question: &str,
+        options: Option<&[String]>,
+        selected: Vec<usize>,
+        context: &[String],
+        ranked: &[RankedChunk],
+        cand_ids: &[usize],
+        g: &QueryGuards<'_>,
+        trace: &mut DegradeTrace,
+    ) -> Option<(Option<usize>, Answer, Vec<usize>)> {
+        match self.guarded_generate(question, options, context, question, g) {
+            Ok((pick, a)) => Some((pick, a, selected)),
+            Err(failure) => {
+                push_event(trace, Component::Reader, Fallback::ReaderSecondBest, failure);
+                // Second-best context: the ranked list shifted down by
+                // one — drops the (possibly poisoned) top chunk while
+                // keeping the context size.
+                let alt_ids: Vec<usize> = ranked
+                    .iter()
+                    .skip(1)
+                    .take(selected.len().max(1))
+                    .map(|r| cand_ids[r.index])
+                    .collect();
+                let alt_context: Vec<String> =
+                    alt_ids.iter().map(|&id| self.chunks[id].clone()).collect();
+                let retry_key = format!("{question}\u{1f}second-best");
+                match self.guarded_generate(question, options, &alt_context, &retry_key, g) {
+                    Ok((pick, a)) => Some((pick, a, alt_ids)),
+                    Err(failure) => {
+                        push_event(
+                            trace,
+                            Component::Reader,
+                            Fallback::ReaderUnanswerable,
+                            failure,
+                        );
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// The degraded terminal answer: the reader (or the whole feedback
+    /// loop) produced nothing usable.
+    fn unanswerable() -> Answer {
+        Answer {
+            text: "unanswerable".to_string(),
+            confidence: 0.0,
+            cost: Cost::zero(),
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// The Figure-2 query loop, with per-query guards when resilience is
+    /// enabled.
     fn run(&self, question: &str, options: Option<&[String]>) -> QueryResult {
+        let guards = self.resilience.as_ref().map(QueryGuards::new);
+        let mut trace = DegradeTrace::new();
+        let mut result = self.run_guarded(question, options, guards.as_ref(), &mut trace);
+        result.degraded = trace;
+        if let Some(state) = &self.resilience {
+            state.counters.absorb(&result.degraded);
+        }
+        result
+    }
+
+    fn run_guarded(
+        &self,
+        question: &str,
+        options: Option<&[String]>,
+        guards: Option<&QueryGuards<'_>>,
+        trace: &mut DegradeTrace,
+    ) -> QueryResult {
         let retrieval_start = Instant::now();
-        let (cand_ids, ranked) = self.retrieve_ranked(question);
+        let (cand_ids, ranked) = self.retrieve_ranked_with(question, guards, trace);
         let retrieval_latency = retrieval_start.elapsed();
 
         let mut min_k = self.config.min_k;
@@ -424,12 +839,28 @@ impl RagSystem {
             let context: Vec<String> =
                 selected.iter().map(|&id| self.chunks[id].clone()).collect();
 
-            let (picked, answer) = match options {
-                Some(opts) => {
-                    let (idx, a) = self.llm.answer_multiple_choice(question, opts, &context);
-                    (Some(idx), a)
+            let generated = match guards {
+                None => {
+                    let (picked, answer) = match options {
+                        Some(opts) => {
+                            let (idx, a) =
+                                self.llm.answer_multiple_choice(question, opts, &context);
+                            (Some(idx), a)
+                        }
+                        None => (None, self.llm.answer_open(question, &context)),
+                    };
+                    Some((picked, answer, selected))
                 }
-                None => (None, self.llm.answer_open(question, &context)),
+                Some(g) => self.read_with_fallback(
+                    question, options, selected, &context, &ranked, &cand_ids, g, trace,
+                ),
+            };
+            let Some((picked, answer, selected)) = generated else {
+                // Reader exhausted both contexts. Fault decisions are
+                // keyed on the question, so further rounds would fail
+                // identically — stop here and fall back to an earlier
+                // round's answer (or the degraded unanswerable below).
+                break;
             };
             total_cost.merge(answer.cost);
             answer_latency += answer.latency;
@@ -445,9 +876,14 @@ impl RagSystem {
                     answer_latency,
                     feedback_latency,
                     feedback_score: None,
+                    degraded: DegradeTrace::new(),
                 };
             }
 
+            // Judge against the context the reader actually saw (the
+            // second-best set when the reader degraded).
+            let context: Vec<String> =
+                selected.iter().map(|&id| self.chunks[id].clone()).collect();
             let fb = self.llm.self_feedback(question, &context, &answer);
             executed_feedback += 1;
             total_cost.merge(fb.cost);
@@ -466,7 +902,14 @@ impl RagSystem {
             min_k = next.clamp(1, self.config.candidates as i64) as usize;
         }
 
-        let (score, answer, picked, selected) = best.expect("at least one round ran");
+        // No round produced an answer: the reader exhausted its fallbacks,
+        // or the loop was configured for zero rounds
+        // (`max_feedback_rounds == 0`). Degrade to a well-formed
+        // unanswerable result instead of panicking.
+        let (score, answer, picked, selected) = match best {
+            Some((s, a, p, sel)) => (Some(s), a, p, sel),
+            None => (None, Self::unanswerable(), None, Vec::new()),
+        };
         QueryResult {
             answer,
             picked_option: picked,
@@ -476,7 +919,8 @@ impl RagSystem {
             retrieval_latency,
             answer_latency,
             feedback_latency,
-            feedback_score: Some(score),
+            feedback_score: score,
+            degraded: DegradeTrace::new(),
         }
     }
 }
@@ -610,6 +1054,84 @@ mod tests {
             s.chunk_count,
             sys.chunks().len(),
         );
+    }
+
+    #[test]
+    fn zero_feedback_rounds_degrades_to_unanswerable() {
+        // Regression: `use_feedback` with `max_feedback_rounds == 0` used
+        // to panic on `best.expect("at least one round ran")`.
+        let sys = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig { max_feedback_rounds: 0, ..SageConfig::sage() },
+            LlmProfile::gpt4o_mini(),
+            &corpus(),
+        );
+        let r = sys.answer_open("What is the color of Whiskers's eyes?");
+        assert_eq!(r.answer.text, "unanswerable");
+        assert_eq!(r.feedback_rounds, 0);
+        assert!(r.feedback_score.is_none());
+        assert!(r.selected.is_empty());
+    }
+
+    #[test]
+    fn resilience_without_faults_is_transparent() {
+        let questions = [
+            "What is the color of Whiskers's eyes?",
+            "Where does Dorinwick live?",
+            "What animal is Patchy?",
+        ];
+        let plain = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &corpus(),
+        );
+        let mut guarded = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &corpus(),
+        );
+        guarded.enable_resilience(crate::resilience::ResilienceConfig::default());
+        assert!(guarded.resilience_enabled());
+        for q in questions {
+            let a = plain.answer_open(q);
+            let b = guarded.answer_open(q);
+            assert_eq!(a.answer.text, b.answer.text, "{q}");
+            assert_eq!(a.selected, b.selected, "{q}");
+            assert_eq!(a.cost.input_tokens, b.cost.input_tokens, "{q}");
+            assert!(b.degraded.is_clean(), "{q}: {:?}", b.degraded);
+        }
+        assert_eq!(guarded.fallback_counters(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn try_answer_batch_matches_serial_answers() {
+        let sys = RagSystem::build(
+            models(),
+            RetrieverKind::Bm25,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &corpus(),
+        );
+        let questions: Vec<String> = [
+            "What is the color of Whiskers's eyes?",
+            "Where does Dorinwick live?",
+            "What animal is Patchy?",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let batch = sys.try_answer_batch(&questions, 2);
+        assert_eq!(batch.len(), questions.len());
+        for (q, r) in questions.iter().zip(&batch) {
+            let serial = sys.answer_open(q);
+            let r = r.as_ref().expect("no faults, no panics");
+            assert_eq!(r.answer.text, serial.answer.text);
+        }
     }
 
     #[test]

@@ -153,14 +153,20 @@ pub fn run_cell(
             handles.push(s.spawn(move || {
                 my.into_iter()
                     .map(|(q, answers)| {
-                        let r = system.answer_open(q);
-                        let f1 = f1_match(&r.answer.text, answers);
-                        (f1, r.retrieval_latency, r.feedback_latency, r.answer_latency)
+                        // One question's panic must not abort the cell:
+                        // score it zero and keep measuring the rest.
+                        match system.try_answer_open(q) {
+                            Ok(r) => {
+                                let f1 = f1_match(&r.answer.text, answers);
+                                (f1, r.retrieval_latency, r.feedback_latency, r.answer_latency)
+                            }
+                            Err(_) => (0.0, Duration::ZERO, Duration::ZERO, Duration::ZERO),
+                        }
                     })
                     .collect::<Vec<_>>()
             }));
         }
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        handles.into_iter().flat_map(|h| h.join().unwrap_or_default()).collect()
     });
 
     let n = results.len().max(1) as u32;

@@ -25,6 +25,18 @@ pub struct Answer {
     pub latency: Duration,
 }
 
+impl Answer {
+    /// Structural validity: what a transport-level response check can see.
+    /// A truncated or corrupt reader response (empty text, non-finite or
+    /// out-of-range confidence) fails this; every answer the simulated
+    /// reader produces organically passes it.
+    pub fn is_wellformed(&self) -> bool {
+        !self.text.is_empty()
+            && self.confidence.is_finite()
+            && (0.0..=1.0).contains(&self.confidence)
+    }
+}
+
 /// Subject pronouns that trigger in-chunk coreference credit.
 const PRONOUNS: &[&str] = &["he", "she", "it", "his", "her", "its", "they", "their"];
 
@@ -823,5 +835,23 @@ mod tests {
         let llm = SimLlm::new(LlmProfile::gpt4o_mini());
         let a = llm.answer_open("q?", &ctx(&["some context."]));
         assert!(a.latency.as_secs_f64() >= 1.0, "API-call latency should be over a second");
+    }
+
+    #[test]
+    fn organic_answers_are_wellformed_and_corruption_is_not() {
+        let llm = SimLlm::new(LlmProfile::gpt4o_mini());
+        let mut a = llm.answer_open("q?", &ctx(&["some context."]));
+        assert!(a.is_wellformed());
+        // Even the unanswerable path is structurally valid.
+        let empty = llm.answer_open("what color is the moon lizard?", &[]);
+        assert!(empty.is_wellformed());
+        // Truncation and NaN poisoning are caught.
+        a.text.clear();
+        assert!(!a.is_wellformed());
+        a.text = "x".to_string();
+        a.confidence = f32::NAN;
+        assert!(!a.is_wellformed());
+        a.confidence = 1.5;
+        assert!(!a.is_wellformed());
     }
 }

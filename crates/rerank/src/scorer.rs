@@ -203,10 +203,17 @@ impl sage_nn::BytesSerialize for CrossScorer {
     }
 
     fn read(buf: &mut bytes::Bytes) -> Option<Self> {
+        use bytes::Buf;
         use sage_nn::io::{get_string, get_u32};
         let mlp = Mlp::read(buf)?;
         let embedder = HashedEmbedder::read(buf)?;
         let n = get_u32(buf)? as usize;
+        // Untrusted count: each entry needs at least a 4-byte string
+        // length plus a 4-byte doc frequency, so bound it by the bytes
+        // actually present before allocating.
+        if n > buf.remaining() / 8 {
+            return None;
+        }
         let mut terms = Vec::with_capacity(n);
         let mut dfs = Vec::with_capacity(n);
         for _ in 0..n {

@@ -57,6 +57,27 @@ impl<E: Embedder, I: VectorIndex> DenseRetriever<E, I> {
         let indexed = index.len();
         Self { embedder, index, indexed }
     }
+
+    /// Embed a query without searching — the first half of
+    /// [`Retriever::retrieve`], split out so callers can guard the
+    /// embedding and the index lookup as separate failure domains.
+    pub fn embed_query(&self, query: &str) -> Vec<f32> {
+        self.embedder.embed_query(query)
+    }
+
+    /// Search with an already-embedded query — the second half of
+    /// [`Retriever::retrieve`]. `retrieve(q, n)` is exactly
+    /// `search_with(&embed_query(q), n)`.
+    pub fn search_with(&self, query: &[f32], n: usize) -> Vec<ScoredChunk> {
+        if self.indexed == 0 || n == 0 {
+            return Vec::new();
+        }
+        self.index
+            .search(query, n)
+            .into_iter()
+            .map(|h| ScoredChunk { index: h.id, score: h.score })
+            .collect()
+    }
 }
 
 impl<E: Embedder, I: VectorIndex> Retriever for DenseRetriever<E, I> {
@@ -76,12 +97,7 @@ impl<E: Embedder, I: VectorIndex> Retriever for DenseRetriever<E, I> {
         if self.indexed == 0 || n == 0 {
             return Vec::new();
         }
-        let q = self.embedder.embed_query(query);
-        self.index
-            .search(&q, n)
-            .into_iter()
-            .map(|h| ScoredChunk { index: h.id, score: h.score })
-            .collect()
+        self.search_with(&self.embed_query(query), n)
     }
 
     fn len(&self) -> usize {
@@ -133,10 +149,24 @@ mod tests {
     fn reindex_resets_ids() {
         let mut r = DenseRetriever::new(HashedEmbedder::default_model(), FlatIndex::cosine());
         r.index(&chunks());
-        r.index(&chunks()[..2].to_vec());
+        r.index(&chunks()[..2]);
         assert_eq!(r.len(), 2);
         let hits = r.retrieve("dog in the yard", 5);
         assert!(hits.iter().all(|h| h.index < 2));
+    }
+
+    #[test]
+    fn split_retrieval_matches_retrieve() {
+        let mut r = DenseRetriever::new(HashedEmbedder::default_model(), FlatIndex::cosine());
+        r.index(&chunks());
+        let q = "what color are the cat's eyes?";
+        let whole = r.retrieve(q, 3);
+        let split = r.search_with(&r.embed_query(q), 3);
+        assert_eq!(whole.len(), split.len());
+        for (a, b) in whole.iter().zip(&split) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.score, b.score);
+        }
     }
 
     #[test]

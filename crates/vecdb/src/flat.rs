@@ -128,12 +128,25 @@ impl FlatIndex {
                 let my: Vec<(usize, &Vec<f32>)> =
                     chunks.iter().skip(w).step_by(workers).cloned().collect();
                 handles.push(s.spawn(move || {
-                    my.into_iter().map(|(i, q)| (i, self.search(q, n))).collect::<Vec<_>>()
+                    my.into_iter()
+                        .map(|(i, q)| {
+                            // Isolate a panicking query (e.g. a poisoned
+                            // vector): its slot stays empty, the batch
+                            // completes.
+                            let hits = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || self.search(q, n),
+                            ))
+                            .unwrap_or_default();
+                            (i, hits)
+                        })
+                        .collect::<Vec<_>>()
                 }));
             }
             for h in handles {
-                for (i, hits) in h.join().expect("search worker panicked") {
-                    results[i] = hits;
+                if let Ok(batch) = h.join() {
+                    for (i, hits) in batch {
+                        results[i] = hits;
+                    }
                 }
             }
         });

@@ -1,0 +1,24 @@
+#!/bin/bash
+# Tier-1 gate: the checks every PR must keep green.
+#
+#   scripts/check.sh            # build + tests + clippy
+#   scripts/check.sh fast       # skip clippy
+#
+# Offline environments without the crates.io dependencies can use
+# scripts/offline/buildws.sh instead (bare-rustc harness with functional
+# stubs for rand/bytes/parking_lot/serde/proptest/criterion).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release"
+cargo build --release --workspace
+
+echo "=== cargo test -q"
+cargo test -q --workspace
+
+if [ "${1:-}" != fast ]; then
+  echo "=== cargo clippy --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "=== tier-1 gate OK"

@@ -1,0 +1,164 @@
+#!/bin/bash
+# Offline build+test harness for the SAGE workspace: compiles functional
+# stubs for external crates (rand/bytes/parking_lot/serde/proptest/criterion)
+# with bare rustc, then builds every workspace crate in dependency order and
+# runs unit, integration, property, CLI, and bench targets.
+# Usage: buildws.sh [build|test|clippy] [crate-filter]
+#   test   — build everything and execute all test binaries
+#   clippy — lint all targets with clippy-driver (-D warnings -D clippy::all)
+#   OPT=1  — optimized build into /tmp/wsbuild-opt (perf measurements)
+set -u
+cd /root/repo
+OUT=/tmp/wsbuild
+STUB=/tmp/stubdeps
+MODE="${1:-build}"
+FILTER="${2:-}"
+# OPT=1 builds optimized into a separate dir (for perf measurements).
+if [ "${OPT:-0}" = 1 ]; then OUT=/tmp/wsbuild-opt; fi
+mkdir -p "$OUT"
+RUSTFLAGS_COMMON=(--edition 2021 -L "$OUT" -A warnings)
+if [ "${OPT:-0}" = 1 ]; then RUSTFLAGS_COMMON+=(-C opt-level=2); fi
+# clippy mode: lint workspace code (stubs still build with plain rustc).
+COMPILER=rustc
+if [ "$MODE" = clippy ]; then
+  COMPILER=clippy-driver
+  RUSTFLAGS_COMMON+=(-D warnings -D clippy::all)
+fi
+
+fail=0
+
+stub() { # name src [kind]
+  local name=$1 src=$2 kind=${3:-rlib}
+  local opt=()
+  if [ "${OPT:-0}" = 1 ]; then opt=(-C opt-level=2); fi
+  if [ "$kind" = proc-macro ]; then
+    rustc --edition 2021 --crate-type proc-macro --crate-name "$name" "$src" \
+      -o "$OUT/lib$name.so" -L "$OUT" -A warnings "${opt[@]}" || fail=1
+  else
+    rustc --edition 2021 --crate-type rlib --crate-name "$name" "$src" \
+      -o "$OUT/lib$name.rlib" -L "$OUT" -A warnings "${opt[@]}" || fail=1
+  fi
+}
+
+# Stubs (rebuild every run; they're tiny).
+stub serde_derive "$STUB/serde_derive.rs" proc-macro
+rustc --edition 2021 --crate-type rlib --crate-name serde "$STUB/serde.rs" \
+  -o "$OUT/libserde.rlib" --extern serde_derive="$OUT/libserde_derive.so" -A warnings || fail=1
+stub rand "$STUB/rand.rs"
+stub bytes "$STUB/bytes.rs"
+stub parking_lot "$STUB/parking_lot.rs"
+stub proptest "$STUB/proptest.rs"
+stub criterion "$STUB/criterion.rs"
+
+# externs <dep...> -> --extern flags (workspace crates get sage_ names)
+ext() {
+  local flags=()
+  for d in "$@"; do
+    case "$d" in
+      serde) flags+=(--extern "serde=$OUT/libserde.rlib" --extern "serde_derive=$OUT/libserde_derive.so");;
+      *) flags+=(--extern "$d=$OUT/lib$d.rlib");;
+    esac
+  done
+  echo "${flags[@]}"
+}
+
+build_crate() { # crate_name src_path deps...
+  local name=$1 src=$2; shift 2
+  local e; e=$(ext "$@")
+  "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-type rlib --crate-name "$name" "$src" \
+    -o "$OUT/lib$name.rlib" $e 2>&1 | head -60
+  [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: $name"; fail=1; }
+}
+
+test_crate() { # crate_name src_path deps...
+  local name=$1 src=$2; shift 2
+  if [ -n "$FILTER" ] && [ "$name" != "$FILTER" ]; then return; fi
+  local e; e=$(ext "$@")
+  "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --test --crate-name "${name}_t" "$src" \
+    -o "$OUT/${name}_test" $e 2>&1 | head -60
+  if [ "${PIPESTATUS[0]}" -eq 0 ]; then
+    if [ "$MODE" = test ]; then
+      "$OUT/${name}_test" -q 2>&1 | tail -3
+      [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "TEST FAILED: $name"; fail=1; }
+    fi
+  else
+    echo "TEST BUILD FAILED: $name"; fail=1
+  fi
+}
+
+# name src deps... (dependency order)
+CRATES=(
+  "sage_text crates/text/src/lib.rs"
+  "sage_nn crates/nn/src/lib.rs rand bytes"
+  "sage_embed crates/embed/src/lib.rs bytes sage_text sage_nn rand"
+  "sage_vecdb crates/vecdb/src/lib.rs sage_nn rand parking_lot bytes"
+  "sage_retrieval crates/retrieval/src/lib.rs sage_text sage_embed sage_vecdb"
+  "sage_corpus crates/corpus/src/lib.rs sage_text rand"
+  "sage_segment crates/segment/src/lib.rs bytes sage_text sage_nn sage_embed sage_corpus"
+  "sage_rerank crates/rerank/src/lib.rs bytes sage_text sage_nn sage_embed sage_corpus"
+  "sage_eval crates/eval/src/lib.rs sage_text rand serde"
+  "sage_llm crates/llm/src/lib.rs sage_text sage_eval sage_corpus rand"
+  "sage_resilience crates/resilience/src/lib.rs"
+  "sage_core crates/core/src/lib.rs bytes sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_llm sage_eval sage_resilience rand serde"
+  "sage src/lib.rs sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_resilience sage_llm sage_eval sage_core"
+)
+
+for entry in "${CRATES[@]}"; do
+  set -- $entry
+  name=$1 src=$2; shift 2
+  echo "--- $name"
+  build_crate "$name" "$src" "$@"
+  if [ "$MODE" = test ] || [ "$MODE" = clippy ]; then
+    test_crate "$name" "$src" "$@"
+  fi
+done
+
+echo "--- sage_cli (bin)"
+e=$(ext sage)
+"$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name sage_cli crates/cli/src/main.rs \
+  -o "$OUT/sage_cli" $e 2>&1 | head -60
+[ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: sage_cli"; fail=1; }
+
+if { [ "$MODE" = test ] || [ "$MODE" = clippy ]; } && { [ -z "$FILTER" ] || [ "$FILTER" = sage_cli ]; }; then
+  "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --test --crate-name sage_cli_t crates/cli/src/main.rs \
+    -o "$OUT/sage_cli_test" $e 2>&1 | head -60
+  if [ "${PIPESTATUS[0]}" -eq 0 ]; then
+    if [ "$MODE" = test ]; then
+      "$OUT/sage_cli_test" -q 2>&1 | tail -3
+      [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "TEST FAILED: sage_cli"; fail=1; }
+    fi
+  else
+    echo "TEST BUILD FAILED: sage_cli"; fail=1
+  fi
+fi
+
+echo "--- sage_bench (lib) + fault_resilience bench"
+e=$(ext sage rand criterion)
+"$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-type rlib --crate-name sage_bench crates/bench/src/lib.rs \
+  -o "$OUT/libsage_bench.rlib" $e 2>&1 | head -60
+[ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: sage_bench"; fail=1; }
+e=$(ext sage rand criterion sage_bench)
+"$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name fault_resilience crates/bench/benches/fault_resilience.rs \
+  -o "$OUT/bench_fault_resilience" $e 2>&1 | head -60
+[ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: fault_resilience bench"; fail=1; }
+
+if [ "$MODE" = test ] || [ "$MODE" = clippy ]; then
+  for t in tests/end_to_end.rs tests/robustness.rs tests/properties.rs; do
+    tn=$(basename "$t" .rs)
+    if [ -n "$FILTER" ] && [ "$tn" != "$FILTER" ]; then continue; fi
+    echo "--- integration: $tn"
+    e=$(ext sage rand proptest)
+    "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --test --crate-name "$tn" "$t" \
+      -o "$OUT/it_$tn" $e 2>&1 | head -60
+    if [ "${PIPESTATUS[0]}" -eq 0 ]; then
+      if [ "$MODE" = test ]; then
+        "$OUT/it_$tn" -q 2>&1 | tail -3
+        [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "TEST FAILED: $tn"; fail=1; }
+      fi
+    else
+      echo "TEST BUILD FAILED: $tn"; fail=1
+    fi
+  done
+fi
+
+if [ $fail -eq 0 ]; then echo "=== ALL OK"; else echo "=== FAILURES"; exit 1; fi

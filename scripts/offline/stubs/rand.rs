@@ -1,0 +1,113 @@
+//! Functional stand-in for the `rand` crate (offline typecheck/test harness).
+//! API-compatible for the surface this workspace uses: StdRng, SeedableRng,
+//! Rng::{random_range, random_bool}. The stream differs from real StdRng
+//! (SplitMix64 here), which is fine for tests that assert internal
+//! consistency rather than golden ChaCha output.
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed ^ 0x5DEE_CE66_D1CE_F00D }
+    }
+}
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Per-type uniform sampling; a single blanket `SampleRange` impl over
+/// `Range<T>` / `RangeInclusive<T>` keeps type inference identical to the
+/// real crate (the range's item type IS the sample type).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (s, e) = (*self.start(), *self.end());
+        assert!(s <= e, "cannot sample empty range");
+        T::sample_inclusive(rng, s, e)
+    }
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);

@@ -1,0 +1,4 @@
+//! Stub for `serde` (offline typecheck harness). Re-exports the stub derive
+//! macros; the traits exist so `use serde::{Serialize, Deserialize}` and
+//! derive attributes resolve.
+pub use serde_derive::{Deserialize, Serialize};

@@ -22,6 +22,7 @@
 //! | [`rerank`] | `sage-rerank` | cross-feature reranker + gradient selection |
 //! | [`llm`] | `sage-llm` | simulated LLM readers, self-feedback judge, cost model |
 //! | [`eval`] | `sage-eval` | ROUGE/BLEU/METEOR/F1 + Eq.1/Eq.2 cost efficiency |
+//! | [`resilience`] | `sage-resilience` | deterministic fault injection, retries, breakers |
 //! | [`core`] | `sage-core` | the assembled pipeline, baselines, experiment harnesses |
 //!
 //! ## Quickstart
@@ -67,6 +68,7 @@ pub use sage_eval as eval;
 pub use sage_llm as llm;
 pub use sage_nn as nn;
 pub use sage_rerank as rerank;
+pub use sage_resilience as resilience;
 pub use sage_retrieval as retrieval;
 pub use sage_segment as segment;
 pub use sage_text as text;
@@ -79,7 +81,12 @@ pub mod prelude {
     pub use sage_core::experiment::{evaluate, MethodScores};
     pub use sage_core::models::{TrainBudget, TrainedModels};
     pub use sage_core::pipeline::{BuildStats, QueryResult, RagSystem};
+    pub use sage_core::resilience::ResilienceConfig;
     pub use sage_corpus::datasets::SizeConfig;
+    pub use sage_resilience::{
+        BreakerConfig, Component, DegradeTrace, Fallback, FaultKind, FaultPlan, Rates,
+        RetryPolicy, SageError,
+    };
     pub use sage_corpus::{Dataset, Document, QaItem, QaTask, QuestionKind};
     pub use sage_eval::{bleu, cost_efficiency, f1_match, meteor, rouge_l, Cost, PriceTable};
     pub use sage_llm::{fine_tune, Answer, LlmProfile, SimLlm};

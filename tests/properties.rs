@@ -303,6 +303,12 @@ proptest! {
     }
 
     #[test]
+    fn resilience_spec_parser_never_panics(spec in "[a-z=:,.0-9]{0,40}") {
+        // Arbitrary CLI fault specs must parse or error, never panic.
+        let _ = sage::resilience::FaultPlan::parse_spec(&spec, 1);
+    }
+
+    #[test]
     fn retrieval_metrics_bounded(
         relevant in proptest::collection::vec(proptest::bool::ANY, 0..30),
         k in 1usize..35,
@@ -319,5 +325,96 @@ proptest! {
         }
         // Recall is monotone in k.
         prop_assert!(recall_at_k(&relevant, k) <= recall_at_k(&relevant, k + 5) + 1e-6);
+    }
+}
+
+// --- Resilience determinism ----------------------------------------------
+//
+// The fault plan is a pure function of (seed, component, call key, attempt)
+// and the breakers/virtual clock are scoped per query, so serving the same
+// question on two independently built systems under the same plan must
+// produce identical results — including the degradation trace.
+
+use sage::prelude::{
+    Component, FaultPlan, LlmProfile, RagSystem, Rates, ResilienceConfig, RetrieverKind,
+    SageConfig, TrainBudget, TrainedModels,
+};
+use std::sync::OnceLock;
+
+fn shared_models() -> &'static TrainedModels {
+    static M: OnceLock<TrainedModels> = OnceLock::new();
+    M.get_or_init(|| TrainedModels::train(TrainBudget::tiny()))
+}
+
+fn resilience_corpus() -> Vec<String> {
+    vec![
+        "Whiskers is a playful tabby cat. He has bright green eyes. His fur is mostly gray.\n\
+         The morning fog settled over the valley, as it had for many years.\n\
+         Patchy is a ferret with a stubborn streak. Patchy has bright orange eyes.\n\
+         Dorinwick was well known in the region. He lives in Ashford. He works as a baker."
+            .to_string(),
+    ]
+}
+
+fn build_resilient(plan: FaultPlan) -> RagSystem {
+    let mut system = RagSystem::build(
+        shared_models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &resilience_corpus(),
+    );
+    system.enable_resilience(ResilienceConfig { plan, ..ResilienceConfig::default() });
+    system
+}
+
+/// Arbitrary per-component rates: all fault kinds except panics (which
+/// escape `answer_open` by design), total mass < 1.
+fn rates_strategy() -> impl Strategy<Value = Rates> {
+    (0.0f64..0.4, 0.0f64..0.3, 0.0f64..0.3).prop_map(|(transient, timeout, corrupt)| Rates {
+        panic: 0.0,
+        corrupt,
+        timeout,
+        transient,
+    })
+}
+
+proptest! {
+    // Each case builds two full systems; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn same_fault_plan_reproduces_identical_results(
+        seed in 0u64..1_000_000,
+        embedder in rates_strategy(),
+        index in rates_strategy(),
+        reranker in rates_strategy(),
+        reader in rates_strategy(),
+        q_idx in 0usize..3,
+    ) {
+        let questions = [
+            "What is the color of Whiskers's eyes?",
+            "Where does Dorinwick live?",
+            "What animal is Patchy?",
+        ];
+        let question = questions[q_idx];
+        let plan = FaultPlan::seeded(seed)
+            .with(Component::Embedder, embedder)
+            .with(Component::IndexSearch, index)
+            .with(Component::Reranker, reranker)
+            .with(Component::Reader, reader);
+        let a = build_resilient(plan.clone()).answer_open(question);
+        let b = build_resilient(plan).answer_open(question);
+        // Every deterministic field must match exactly (wall-clock
+        // latencies are measurements, not outputs).
+        prop_assert_eq!(&a.answer.text, &b.answer.text);
+        prop_assert_eq!(a.answer.confidence, b.answer.confidence);
+        prop_assert_eq!(a.picked_option, b.picked_option);
+        prop_assert_eq!(&a.selected, &b.selected);
+        prop_assert_eq!(a.cost.input_tokens, b.cost.input_tokens);
+        prop_assert_eq!(a.cost.output_tokens, b.cost.output_tokens);
+        prop_assert_eq!(a.feedback_rounds, b.feedback_rounds);
+        prop_assert_eq!(a.feedback_score, b.feedback_score);
+        prop_assert_eq!(&a.degraded, &b.degraded);
     }
 }

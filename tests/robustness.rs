@@ -206,6 +206,169 @@ fn incremental_add_documents_extends_retrieval() {
     assert!(old.answer.text.contains("green"));
 }
 
+// ---------------------------------------------------------------------------
+// Fault matrix: each single-component fault plan must produce an answer via
+// its documented fallback, visible in `QueryResult::degraded`.
+// ---------------------------------------------------------------------------
+
+fn fault_corpus() -> Vec<String> {
+    vec![
+        "Whiskers is a playful tabby cat. He has bright green eyes. His fur is mostly gray.\n\
+         The morning fog settled over the valley, as it had for many years.\n\
+         Patchy is a ferret with a stubborn streak. Patchy has bright orange eyes.\n\
+         Dorinwick was well known in the region. He lives in Ashford. He works as a baker."
+            .to_string(),
+    ]
+}
+
+fn resilient(plan: FaultPlan, use_hnsw: bool) -> RagSystem {
+    let mut system = RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &fault_corpus(),
+    );
+    system.enable_resilience(ResilienceConfig { plan, use_hnsw, ..ResilienceConfig::default() });
+    system
+}
+
+const EYES_Q: &str = "What is the color of Whiskers's eyes?";
+
+#[test]
+fn embedder_fault_degrades_to_bm25() {
+    let system = resilient(FaultPlan::failing(Component::Embedder, FaultKind::Transient), false);
+    let r = system.answer_open(EYES_Q);
+    assert!(r.degraded.fired(Fallback::DenseToBm25), "trace: {:?}", r.degraded);
+    assert!(r.answer.text.contains("green"), "BM25 fallback answered: {:?}", r.answer.text);
+}
+
+#[test]
+fn flat_search_fault_degrades_to_bm25_with_virtual_delay() {
+    let system = resilient(FaultPlan::failing(Component::IndexSearch, FaultKind::Timeout), false);
+    let r = system.answer_open(EYES_Q);
+    assert!(r.degraded.fired(Fallback::DenseToBm25), "trace: {:?}", r.degraded);
+    assert!(
+        r.degraded.total_delay() > std::time::Duration::ZERO,
+        "timeouts charge virtual time"
+    );
+    assert!(r.answer.text.contains("green"), "got {:?}", r.answer.text);
+}
+
+#[test]
+fn hnsw_fault_degrades_to_flat_and_batch_completes() {
+    // Acceptance: a plan injecting 100% vector-index faults with the ANN
+    // tier enabled must complete a whole batch via the exact flat scan —
+    // zero panics, every answer intact.
+    let system = resilient(FaultPlan::failing(Component::IndexSearch, FaultKind::Transient), true);
+    let questions: Vec<String> = vec![
+        EYES_Q.into(),
+        "Where does Dorinwick live?".into(),
+        "What is Dorinwick's profession?".into(),
+    ];
+    let results = system.answer_batch(&questions, 2);
+    assert_eq!(results.len(), questions.len());
+    for r in &results {
+        assert!(r.degraded.fired(Fallback::HnswToFlat), "trace: {:?}", r.degraded);
+        assert!(!r.degraded.fired(Fallback::DenseToBm25), "flat tier must absorb the failure");
+    }
+    assert!(results[0].answer.text.contains("green"), "got {:?}", results[0].answer.text);
+    assert!(results[1].answer.text.contains("ashford"), "got {:?}", results[1].answer.text);
+    let counters = system.fallback_counters().expect("resilience on");
+    assert!(counters.contains(&("hnsw->flat", questions.len() as u64)), "{counters:?}");
+}
+
+#[test]
+fn reranker_fault_degrades_to_retrieval_order() {
+    let system = resilient(FaultPlan::failing(Component::Reranker, FaultKind::Corrupt), false);
+    let r = system.answer_open(EYES_Q);
+    assert!(r.degraded.fired(Fallback::RerankToRetrievalOrder), "trace: {:?}", r.degraded);
+    assert!(r.answer.text.contains("green"), "retrieval order sufficed: {:?}", r.answer.text);
+}
+
+#[test]
+fn reader_fault_exhausts_to_unanswerable() {
+    let system = resilient(FaultPlan::failing(Component::Reader, FaultKind::Transient), false);
+    let r = system.answer_open(EYES_Q);
+    assert!(r.degraded.fired(Fallback::ReaderSecondBest), "trace: {:?}", r.degraded);
+    assert!(r.degraded.fired(Fallback::ReaderUnanswerable), "trace: {:?}", r.degraded);
+    assert_eq!(r.answer.text, "unanswerable");
+    assert!(r.selected.is_empty());
+}
+
+#[test]
+fn partial_reader_faults_recover_via_retry() {
+    // At 40% transient rate most questions recover within the retry
+    // budget; whatever happens, no panic and a well-formed answer.
+    let plan = FaultPlan::seeded(11)
+        .with(Component::Reader, Rates { transient: 0.4, ..Rates::default() });
+    let system = resilient(plan, false);
+    for q in [EYES_Q, "Where does Dorinwick live?", "What animal is Patchy?"] {
+        let r = system.answer_open(q);
+        assert!(!r.answer.text.is_empty(), "{q}");
+    }
+}
+
+#[test]
+fn injected_reader_panic_is_isolated_per_question() {
+    // Acceptance: one question's reader panicking must not poison the
+    // batch — the others answer normally, the poisoned one surfaces a
+    // structured error.
+    let plan = FaultPlan::seeded(5)
+        .with(Component::Reader, Rates { panic: 0.5, ..Rates::default() });
+    let questions: Vec<String> = vec![
+        EYES_Q.into(),
+        "Where does Dorinwick live?".into(),
+        "What animal is Patchy?".into(),
+        "What is Dorinwick's profession?".into(),
+        "What color is Patchy's fur?".into(),
+    ];
+    let system = resilient(plan, false);
+    let results = system.try_answer_batch(&questions, 3);
+    assert_eq!(results.len(), questions.len());
+    let oks = results.iter().filter(|r| r.is_ok()).count();
+    let errs = results.iter().filter(|r| r.is_err()).count();
+    assert!(oks > 0, "some questions must survive (adjust seed)");
+    assert!(errs > 0, "some questions must panic (adjust seed)");
+    for r in &results {
+        if let Err(e) = r {
+            assert!(
+                matches!(e, SageError::Panicked { .. }),
+                "panics must surface as structured errors: {e}"
+            );
+        }
+    }
+    // Surviving answers match a fault-free system (panic-only plans leave
+    // non-panicking calls untouched).
+    let clean = build(&fault_corpus());
+    for (q, r) in questions.iter().zip(&results) {
+        if let Ok(r) = r {
+            assert_eq!(r.answer.text, clean.answer_open(q).answer.text, "{q}");
+        }
+    }
+    let counters = system.fallback_counters().expect("resilience on");
+    assert!(
+        counters.iter().any(|(label, n)| *label == "panic-isolated" && *n >= errs as u64),
+        "{counters:?}"
+    );
+}
+
+#[test]
+fn multi_component_storm_still_serves() {
+    // Everything failing at once (short of panics): the chain bottoms out
+    // at BM25 + retrieval order + unanswerable, and never panics.
+    let plan = FaultPlan::seeded(3)
+        .with(Component::Embedder, Rates { transient: 1.0, ..Rates::default() })
+        .with(Component::Reranker, Rates { corrupt: 1.0, ..Rates::default() })
+        .with(Component::Reader, Rates { timeout: 1.0, ..Rates::default() });
+    let system = resilient(plan, false);
+    let r = system.answer_open(EYES_Q);
+    assert!(r.degraded.fired(Fallback::DenseToBm25));
+    assert!(r.degraded.fired(Fallback::RerankToRetrievalOrder));
+    assert!(r.degraded.fired(Fallback::ReaderUnanswerable));
+    assert_eq!(r.answer.text, "unanswerable");
+}
+
 #[test]
 fn answer_batch_matches_serial() {
     let system = build(&[
