@@ -62,6 +62,7 @@ pub fn query(flags: &Flags) -> Result<(), String> {
     let mut system = RagSystem::load(std::path::Path::new(path), profile)
         .map_err(|e| format!("cannot load index {path}: {e}"))?;
     apply_resilience(flags, &mut system)?;
+    apply_telemetry(flags, &mut system);
     let result = system.answer_open(question);
     println!("{}", result.answer.text);
     eprintln!(
@@ -72,6 +73,7 @@ pub fn query(flags: &Flags) -> Result<(), String> {
         result.cost.dollars(profile.prices),
     );
     report_degradation(&result.degraded, &system);
+    report_telemetry(flags, &system, profile)?;
     Ok(())
 }
 
@@ -118,6 +120,40 @@ fn apply_resilience(flags: &Flags, system: &mut RagSystem) -> Result<(), String>
         use_hnsw: flags.has("hnsw"),
         ..ResilienceConfig::default()
     });
+    Ok(())
+}
+
+/// Apply the telemetry flags: any of `--telemetry` (stderr summary),
+/// `--trace-out <path>` (JSONL query traces), `--metrics-out <path>`
+/// (Prometheus text dump) attaches a recording hub to the system.
+fn apply_telemetry(flags: &Flags, system: &mut RagSystem) {
+    if flags.has("telemetry") || flags.has("trace-out") || flags.has("metrics-out") {
+        system.enable_telemetry();
+    }
+}
+
+/// Write out whatever the telemetry flags asked for. No-op when no hub is
+/// attached.
+fn report_telemetry(flags: &Flags, system: &RagSystem, profile: LlmProfile) -> Result<(), String> {
+    let Some(hub) = system.telemetry() else { return Ok(()) };
+    let prices = sage::telemetry::export::Prices {
+        input_per_token: profile.prices.input_per_token,
+        output_per_token: profile.prices.output_per_token,
+    };
+    if let Some(path) = flags.get("trace-out").filter(|p| !p.is_empty()) {
+        std::fs::write(path, hub.traces_jsonl())
+            .map_err(|e| format!("cannot write trace file {path}: {e}"))?;
+        eprintln!("wrote {} trace(s) -> {path}", hub.trace_count());
+    }
+    if let Some(path) = flags.get("metrics-out").filter(|p| !p.is_empty()) {
+        let text = sage::telemetry::export::prometheus(hub, Some(prices));
+        std::fs::write(path, text)
+            .map_err(|e| format!("cannot write metrics file {path}: {e}"))?;
+        eprintln!("wrote metrics -> {path}");
+    }
+    if flags.has("telemetry") {
+        eprint!("{}", sage::telemetry::export::summary(hub, Some(prices)));
+    }
     Ok(())
 }
 
@@ -194,6 +230,7 @@ pub fn ask(flags: &Flags) -> Result<(), String> {
 
     let mut system = RagSystem::build(resolve_models(flags)?, retriever, config, profile, &corpus);
     apply_resilience(flags, &mut system)?;
+    apply_telemetry(flags, &mut system);
     let result = system.answer_open(question);
     println!("{}", result.answer.text);
     eprintln!(
@@ -210,6 +247,7 @@ pub fn ask(flags: &Flags) -> Result<(), String> {
         }
     }
     report_degradation(&result.degraded, &system);
+    report_telemetry(flags, &system, profile)?;
     Ok(())
 }
 
@@ -305,6 +343,7 @@ USAGE:
   sage segment --file <path> [--threshold 0.55] [--coarse 400] [--naive [tokens]]
   sage ask     --file <path> --question \"...\" [--retriever openai|sbert|dpr|bm25]
                [--llm gpt4|gpt4o-mini|gpt3.5|unifiedqa] [--naive] [--show-context]
+               [--telemetry] [--trace-out <path>] [--metrics-out <path>]
   sage eval    [--dataset quality|qasper|narrativeqa] [--method sage|naive|raptor|
                title-abstract|bm25-bert|summarize] [--docs N] [--questions M]
                [--retriever R] [--llm L] [--seed S]
@@ -328,6 +367,18 @@ RESILIENCE (ask, query):
   --hnsw                serve dense retrieval through an ANN (HNSW) tier
                         that degrades to the exact flat scan on failure
   Degraded-mode events and fallback counters are reported on stderr.
+
+TELEMETRY (ask, query):
+  --telemetry           print a serving-path summary on stderr after the
+                        answer: per-stage latency histograms (p50/p90/p99),
+                        the token/dollar cost ledger, and counters
+  --trace-out <path>    write per-query span traces as JSON Lines
+                        (one trace object per query; spans carry parent
+                        links, start/duration in ns, and key=value fields)
+  --metrics-out <path>  write a Prometheus text-format dump of all
+                        counters, histograms, and cost gauges
+  Any telemetry flag attaches the recorder; overhead when none is given
+  is a single relaxed atomic load per instrumentation site.
 
 Corpus files: paragraphs separated by blank lines."
     );

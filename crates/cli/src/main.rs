@@ -3,7 +3,8 @@
 //! ```text
 //! sage segment --file corpus.txt [--threshold 0.55] [--coarse 400]
 //! sage ask     --file corpus.txt --question "..." [--retriever R] [--llm L]
-//!              [--naive] [--show-context]
+//!              [--naive] [--show-context] [--telemetry] [--trace-out F]
+//!              [--metrics-out F]
 //! sage eval    --dataset quality|qasper|narrativeqa [--method sage|naive]
 //!              [--docs N] [--questions M] [--llm L]
 //! sage train   --out models.bin

@@ -12,8 +12,10 @@ use sage_embed::{DualEncoder, SiameseEncoder};
 use sage_resilience::{Component, DegradeEvent, DegradeTrace, Failure, Fallback, SageError};
 use sage_retrieval::{Bm25Retriever, DenseRetriever, Retriever, ScoredChunk};
 use sage_segment::{Segmenter, SemanticSegmenter, SentenceSegmenter};
+use sage_telemetry::{BuildRecord, Stage, Telemetry, Trace};
 use sage_vecdb::{FlatIndex, VectorIndex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Offline build statistics (the left half of Tables VIII/IX).
@@ -166,6 +168,18 @@ fn push_event(
     });
 }
 
+/// Open a span on the query trace, if one is being recorded.
+fn span_enter(qt: &mut Option<Trace>, name: &'static str) -> Option<usize> {
+    qt.as_mut().map(|t| t.enter(name))
+}
+
+/// Close a span opened by [`span_enter`].
+fn span_exit(qt: &mut Option<Trace>, id: Option<usize>) {
+    if let (Some(t), Some(id)) = (qt.as_mut(), id) {
+        t.exit(id);
+    }
+}
+
 /// A built RAG system over one corpus.
 pub struct RagSystem {
     config: SageConfig,
@@ -178,6 +192,9 @@ pub struct RagSystem {
     /// Runtime-only serving-path resilience (never persisted); `None`
     /// means guards are off and every query runs the bare primary path.
     resilience: Option<ResilienceState>,
+    /// Runtime-only telemetry hub (never persisted); `None` means no
+    /// spans, histograms, or ledger entries are recorded for this system.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl RagSystem {
@@ -253,6 +270,7 @@ impl RagSystem {
             llm: SimLlm::new(profile),
             stats,
             resilience: None,
+            telemetry: None,
         }
     }
 
@@ -314,6 +332,64 @@ impl RagSystem {
     /// entries only, since resilience was enabled. `None` when disabled.
     pub fn fallback_counters(&self) -> Option<Vec<(&'static str, u64)>> {
         self.resilience.as_ref().map(|s| s.counters.snapshot())
+    }
+
+    /// Attach a fresh telemetry hub to this system and return it. From now
+    /// on every query records a span trace, per-stage latency histograms,
+    /// and a token-cost ledger on the hub; the process-global substrate
+    /// counters (`sage_telemetry::metrics`) are switched on as well.
+    pub fn enable_telemetry(&mut self) -> Arc<Telemetry> {
+        let hub = Arc::new(Telemetry::new());
+        self.attach_telemetry(Arc::clone(&hub));
+        hub
+    }
+
+    /// Attach an existing (possibly shared) telemetry hub. Registers this
+    /// system's build statistics with the hub — the segmentation and index
+    /// wall-clock measured during [`RagSystem::build`] become the hub's
+    /// `segment`/`index` stage observations — and enables the global
+    /// substrate counters.
+    pub fn attach_telemetry(&mut self, hub: Arc<Telemetry>) {
+        sage_telemetry::set_enabled(true);
+        hub.record_build(BuildRecord {
+            chunk_count: self.stats.chunk_count as u64,
+            corpus_tokens: self.stats.corpus_tokens as u64,
+            memory_bytes: self.stats.memory_bytes as u64,
+            segmentation_ns: self.stats.segmentation_time.as_nanos() as u64,
+            index_ns: self.stats.index_time.as_nanos() as u64,
+        });
+        hub.record_stage(Stage::Segment, self.stats.segmentation_time);
+        hub.record_stage(Stage::Index, self.stats.index_time);
+        self.telemetry = Some(hub);
+    }
+
+    /// Detach the telemetry hub. The process-global counter flag stays on
+    /// (another system may share it); flip it explicitly with
+    /// `sage_telemetry::set_enabled(false)` when the whole process is done
+    /// measuring.
+    pub fn disable_telemetry(&mut self) {
+        self.telemetry = None;
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Record a stage observation on the attached hub, if any.
+    #[inline]
+    fn tel_stage(&self, stage: Stage, d: Duration) {
+        if let Some(hub) = &self.telemetry {
+            hub.record_stage(stage, d);
+        }
+    }
+
+    /// Attribute one call's cost to a stage on the attached hub, if any.
+    #[inline]
+    fn tel_cost(&self, stage: Stage, cost: &Cost) {
+        if let Some(hub) = &self.telemetry {
+            hub.record_cost(stage, cost.input_tokens, cost.output_tokens);
+        }
     }
 
     /// Answer many open-ended questions with `workers` threads. Results
@@ -440,6 +516,7 @@ impl RagSystem {
             llm: SimLlm::new(profile),
             stats,
             resilience: None,
+            telemetry: None,
         }
     }
 
@@ -467,7 +544,8 @@ impl RagSystem {
     /// over candidate positions). Unguarded primary path.
     fn retrieve_ranked(&self, question: &str) -> (Vec<usize>, Vec<RankedChunk>) {
         let mut trace = DegradeTrace::new();
-        self.retrieve_ranked_with(question, None, &mut trace)
+        let mut qt = None;
+        self.retrieve_ranked_with(question, None, &mut trace, &mut qt)
     }
 
     /// First-stage retrieval under the degradation chain. Dense systems
@@ -481,12 +559,26 @@ impl RagSystem {
         question: &str,
         guards: Option<&QueryGuards<'_>>,
         trace: &mut DegradeTrace,
+        qt: &mut Option<Trace>,
     ) -> Vec<ScoredChunk> {
         let n = self.config.candidates;
         let Some(g) = guards.filter(|_| self.retriever.is_dense()) else {
+            if self.telemetry.is_some() && self.retriever.is_dense() {
+                // Unguarded dense path, split so the embedding stage can be
+                // timed separately; identical to `retrieve` (dense.rs tests
+                // pin `retrieve == search_with(embed_query(q))`).
+                let embed_start = Instant::now();
+                let sid = span_enter(qt, "embed");
+                let v = self.retriever.embed_query(question).expect("dense retriever");
+                span_exit(qt, sid);
+                self.tel_stage(Stage::Embed, embed_start.elapsed());
+                return self.retriever.search_dense(&v, n).expect("dense retriever");
+            }
             return self.retriever.retrieve(question, n);
         };
 
+        let embed_start = Instant::now();
+        let sid = span_enter(qt, "embed");
         let embedded = g.guard(Component::Embedder).run(
             Component::Embedder,
             question,
@@ -498,6 +590,8 @@ impl RagSystem {
             },
             |v| !v.is_empty() && v.iter().all(|x| x.is_finite()),
         );
+        span_exit(qt, sid);
+        self.tel_stage(Stage::Embed, embed_start.elapsed());
         let query_vec = match embedded {
             Ok(v) => v,
             Err(failure) => {
@@ -566,14 +660,27 @@ impl RagSystem {
         question: &str,
         guards: Option<&QueryGuards<'_>>,
         trace: &mut DegradeTrace,
+        qt: &mut Option<Trace>,
     ) -> (Vec<usize>, Vec<RankedChunk>) {
-        let hits = self.first_stage(question, guards, trace);
+        let retrieve_start = Instant::now();
+        let retrieve_sid = span_enter(qt, "retrieve");
+        let hits = self.first_stage(question, guards, trace, qt);
         let cand_ids: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        if let (Some(t), Some(id)) = (qt.as_mut(), retrieve_sid) {
+            t.field(id, "candidates", cand_ids.len());
+            t.exit(id);
+        }
+        self.tel_stage(Stage::Retrieve, retrieve_start.elapsed());
         let retrieval_order = |hits: &[ScoredChunk]| {
             hits.iter()
                 .enumerate()
                 .map(|(pos, h)| RankedChunk { index: pos, score: h.score })
                 .collect::<Vec<_>>()
+        };
+        let rerank_start = Instant::now();
+        let rerank_sid = match &self.scorer {
+            Some(_) => span_enter(qt, "rerank"),
+            None => None,
         };
         let ranked = match &self.scorer {
             Some(scorer) => {
@@ -612,6 +719,13 @@ impl RagSystem {
             }
             None => retrieval_order(&hits),
         };
+        if let (Some(t), Some(id)) = (qt.as_mut(), rerank_sid) {
+            t.field(id, "pairs", ranked.len());
+            t.exit(id);
+            self.tel_stage(Stage::Rerank, rerank_start.elapsed());
+        } else if self.scorer.is_some() {
+            self.tel_stage(Stage::Rerank, rerank_start.elapsed());
+        }
         (cand_ids, ranked)
     }
 
@@ -655,7 +769,16 @@ impl RagSystem {
         chunk_ids: &[usize],
         options: Option<&[String]>,
     ) -> QueryResult {
+        let mut qt = self.telemetry.as_ref().map(|_| Trace::start(question));
+        let query_start = Instant::now();
+        // No retrieval runs on this path; the "retrieval" latency is the
+        // (real, measured) context-assembly time rather than a zero
+        // placeholder.
+        let assemble_start = Instant::now();
         let context: Vec<String> = chunk_ids.iter().map(|&id| self.chunks[id].clone()).collect();
+        let retrieval_latency = assemble_start.elapsed();
+        let read_start = Instant::now();
+        let read_sid = span_enter(&mut qt, "read");
         let (picked, answer) = match options {
             Some(opts) => {
                 let (idx, a) = self.llm.answer_multiple_choice(question, opts, &context);
@@ -663,6 +786,18 @@ impl RagSystem {
             }
             None => (None, self.llm.answer_open(question, &context)),
         };
+        if let (Some(t), Some(id)) = (qt.as_mut(), read_sid) {
+            t.field(id, "context_chunks", chunk_ids.len());
+            t.field(id, "input_tokens", answer.cost.input_tokens);
+            t.field(id, "output_tokens", answer.cost.output_tokens);
+            t.exit(id);
+        }
+        self.tel_stage(Stage::Read, read_start.elapsed());
+        self.tel_cost(Stage::Read, &answer.cost);
+        if let (Some(hub), Some(t)) = (&self.telemetry, qt) {
+            hub.record_query(query_start.elapsed());
+            hub.push_trace(t);
+        }
         let mut cost = Cost::zero();
         cost.merge(answer.cost);
         QueryResult {
@@ -672,7 +807,8 @@ impl RagSystem {
             selected: chunk_ids.to_vec(),
             cost,
             feedback_rounds: 0,
-            retrieval_latency: Duration::ZERO,
+            retrieval_latency,
+            // Honest zero: no feedback round runs on this path.
             feedback_latency: Duration::ZERO,
             feedback_score: None,
             degraded: DegradeTrace::new(),
@@ -778,14 +914,11 @@ impl RagSystem {
     }
 
     /// The degraded terminal answer: the reader (or the whole feedback
-    /// loop) produced nothing usable.
-    fn unanswerable() -> Answer {
-        Answer {
-            text: "unanswerable".to_string(),
-            confidence: 0.0,
-            cost: Cost::zero(),
-            latency: Duration::ZERO,
-        }
+    /// loop) produced nothing usable. `latency` is the measured (virtual)
+    /// time spent reaching this verdict — retry backoff accumulated by the
+    /// failed attempts — not a zero placeholder.
+    fn unanswerable(latency: Duration) -> Answer {
+        Answer { text: "unanswerable".to_string(), confidence: 0.0, cost: Cost::zero(), latency }
     }
 
     /// The Figure-2 query loop, with per-query guards when resilience is
@@ -793,10 +926,28 @@ impl RagSystem {
     fn run(&self, question: &str, options: Option<&[String]>) -> QueryResult {
         let guards = self.resilience.as_ref().map(QueryGuards::new);
         let mut trace = DegradeTrace::new();
-        let mut result = self.run_guarded(question, options, guards.as_ref(), &mut trace);
+        let mut qt = self.telemetry.as_ref().map(|_| Trace::start(question));
+        let query_start = Instant::now();
+        let mut result = self.run_guarded(question, options, guards.as_ref(), &mut trace, &mut qt);
+        let total = query_start.elapsed();
         result.degraded = trace;
         if let Some(state) = &self.resilience {
             state.counters.absorb(&result.degraded);
+        }
+        if let (Some(hub), Some(mut t)) = (&self.telemetry, qt) {
+            // Fold this query's degradation events into the same trace so
+            // one record explains both where time went and what fell back.
+            for e in &result.degraded.events {
+                let id = t.event("degrade");
+                t.field(id, "component", e.component.label());
+                t.field(id, "fallback", e.fallback.label());
+                t.field(id, "error", e.error.to_string());
+                t.field(id, "attempts", u64::from(e.attempts));
+                t.field(id, "virtual_delay_ns", e.delay.as_nanos() as u64);
+            }
+            hub.record_degrades(result.degraded.events.len() as u64);
+            hub.record_query(total);
+            hub.push_trace(t);
         }
         result
     }
@@ -807,9 +958,10 @@ impl RagSystem {
         options: Option<&[String]>,
         guards: Option<&QueryGuards<'_>>,
         trace: &mut DegradeTrace,
+        qt: &mut Option<Trace>,
     ) -> QueryResult {
         let retrieval_start = Instant::now();
-        let (cand_ids, ranked) = self.retrieve_ranked_with(question, guards, trace);
+        let (cand_ids, ranked) = self.retrieve_ranked_with(question, guards, trace, qt);
         let retrieval_latency = retrieval_start.elapsed();
 
         let mut min_k = self.config.min_k;
@@ -839,6 +991,8 @@ impl RagSystem {
             let context: Vec<String> =
                 selected.iter().map(|&id| self.chunks[id].clone()).collect();
 
+            let read_start = Instant::now();
+            let read_sid = span_enter(qt, "read");
             let generated = match guards {
                 None => {
                     let (picked, answer) = match options {
@@ -855,6 +1009,16 @@ impl RagSystem {
                     question, options, selected, &context, &ranked, &cand_ids, g, trace,
                 ),
             };
+            if let (Some(t), Some(id)) = (qt.as_mut(), read_sid) {
+                t.field(id, "round", round);
+                if let Some((_, a, sel)) = &generated {
+                    t.field(id, "context_chunks", sel.len());
+                    t.field(id, "input_tokens", a.cost.input_tokens);
+                    t.field(id, "output_tokens", a.cost.output_tokens);
+                }
+                t.exit(id);
+            }
+            self.tel_stage(Stage::Read, read_start.elapsed());
             let Some((picked, answer, selected)) = generated else {
                 // Reader exhausted both contexts. Fault decisions are
                 // keyed on the question, so further rounds would fail
@@ -862,6 +1026,7 @@ impl RagSystem {
                 // round's answer (or the degraded unanswerable below).
                 break;
             };
+            self.tel_cost(Stage::Read, &answer.cost);
             total_cost.merge(answer.cost);
             answer_latency += answer.latency;
 
@@ -884,7 +1049,16 @@ impl RagSystem {
             // second-best set when the reader degraded).
             let context: Vec<String> =
                 selected.iter().map(|&id| self.chunks[id].clone()).collect();
+            let fb_start = Instant::now();
+            let fb_sid = span_enter(qt, "feedback");
             let fb = self.llm.self_feedback(question, &context, &answer);
+            if let (Some(t), Some(id)) = (qt.as_mut(), fb_sid) {
+                t.field(id, "score", u64::from(fb.score));
+                t.field(id, "adjustment", i64::from(fb.adjustment));
+                t.exit(id);
+            }
+            self.tel_stage(Stage::Feedback, fb_start.elapsed());
+            self.tel_cost(Stage::Feedback, &fb.cost);
             executed_feedback += 1;
             total_cost.merge(fb.cost);
             feedback_latency += fb.latency;
@@ -908,7 +1082,7 @@ impl RagSystem {
         // unanswerable result instead of panicking.
         let (score, answer, picked, selected) = match best {
             Some((s, a, p, sel)) => (Some(s), a, p, sel),
-            None => (None, Self::unanswerable(), None, Vec::new()),
+            None => (None, Self::unanswerable(trace.total_delay()), None, Vec::new()),
         };
         QueryResult {
             answer,

@@ -65,6 +65,9 @@ impl SimLlm {
         let output_tokens = 10;
         let mut cost = Cost::zero();
         cost.add_call(input_tokens, output_tokens);
+        sage_telemetry::metrics::LLM_FEEDBACK_CALLS.inc();
+        sage_telemetry::metrics::LLM_INPUT_TOKENS.add(input_tokens as u64);
+        sage_telemetry::metrics::LLM_OUTPUT_TOKENS.add(output_tokens as u64);
 
         // Evidence support: does the answer text occur in a context
         // sentence that also touches the question's content words?

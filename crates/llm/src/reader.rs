@@ -538,6 +538,9 @@ impl SimLlm {
         let output_tokens = count_tokens(&text) + 3;
         let mut cost = Cost::zero();
         cost.add_call(input_tokens, output_tokens);
+        sage_telemetry::metrics::LLM_READER_CALLS.inc();
+        sage_telemetry::metrics::LLM_INPUT_TOKENS.add(input_tokens as u64);
+        sage_telemetry::metrics::LLM_OUTPUT_TOKENS.add(output_tokens as u64);
         Answer { text, confidence, cost, latency: self.profile.call_latency(output_tokens) }
     }
 
@@ -653,6 +656,9 @@ impl SimLlm {
         let output_tokens = 2;
         let mut cost = Cost::zero();
         cost.add_call(input_tokens, output_tokens);
+        sage_telemetry::metrics::LLM_READER_CALLS.inc();
+        sage_telemetry::metrics::LLM_INPUT_TOKENS.add(input_tokens as u64);
+        sage_telemetry::metrics::LLM_OUTPUT_TOKENS.add(output_tokens as u64);
         (
             pick,
             Answer { text, confidence, cost, latency: self.profile.call_latency(output_tokens) },

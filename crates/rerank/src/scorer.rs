@@ -178,6 +178,8 @@ impl CrossScorer {
     /// Score all candidate chunks and return them sorted best-first
     /// (paper §III-B steps 5–6).
     pub fn rerank(&self, question: &str, chunks: &[&str]) -> Vec<RankedChunk> {
+        sage_telemetry::metrics::RERANK_CALLS.inc();
+        sage_telemetry::metrics::RERANK_PAIRS_SCORED.add(chunks.len() as u64);
         let mut ranked: Vec<RankedChunk> = chunks
             .iter()
             .enumerate()

@@ -94,10 +94,12 @@ impl Retriever for Bm25Retriever {
         if self.chunk_len.is_empty() || n == 0 {
             return Vec::new();
         }
+        sage_telemetry::metrics::BM25_SEARCHES.inc();
         let mut scores: HashMap<u32, f32> = HashMap::new();
         for term in Self::terms(query) {
             let Some(id) = self.vocab.get(&term) else { continue };
             let Some(postings) = self.postings.get(&id) else { continue };
+            sage_telemetry::metrics::BM25_POSTINGS_SCANNED.add(postings.len() as u64);
             let idf = self.vocab.idf(id);
             for &(chunk, tf) in postings {
                 let tf = tf as f32;

@@ -62,6 +62,7 @@ impl<E: Embedder, I: VectorIndex> DenseRetriever<E, I> {
     /// [`Retriever::retrieve`], split out so callers can guard the
     /// embedding and the index lookup as separate failure domains.
     pub fn embed_query(&self, query: &str) -> Vec<f32> {
+        sage_telemetry::metrics::DENSE_QUERY_EMBEDS.inc();
         self.embedder.embed_query(query)
     }
 

@@ -1,0 +1,171 @@
+//! Process-global monotonic counters for the substrate crates.
+//!
+//! Leaf crates (vecdb, retrieval, rerank, llm) have no reference to a
+//! per-system [`Telemetry`](crate::Telemetry) hub, so their probe counts
+//! go to these statics instead. Every counter gates on the single
+//! [`enabled`](crate::enabled) flag: when telemetry is off, `add` is one
+//! relaxed atomic load and a branch — no store, no allocation.
+//!
+//! Counters are process-wide and monotonic by design (Prometheus
+//! `counter` semantics); tests must not assert exact values because
+//! parallel test threads share them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic counter with Prometheus-style metadata.
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Define a counter (used for the statics below).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self { name, help, value: AtomicU64::new(0) }
+    }
+
+    /// Add `n`, if telemetry is globally enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one, if telemetry is globally enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name (Prometheus conventions: `sage_*_total`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line help string.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+/// Full-scan similarity evaluations in the flat index.
+pub static VECDB_FLAT_DISTANCE_EVALS: Counter = Counter::new(
+    "sage_vecdb_flat_distance_evals_total",
+    "Similarity evaluations performed by flat (exhaustive) index searches",
+);
+/// Flat index searches served.
+pub static VECDB_FLAT_SEARCHES: Counter =
+    Counter::new("sage_vecdb_flat_searches_total", "Searches served by the flat index");
+/// Similarity evaluations during HNSW graph descent and beam search.
+pub static VECDB_HNSW_DISTANCE_EVALS: Counter = Counter::new(
+    "sage_vecdb_hnsw_distance_evals_total",
+    "Similarity evaluations performed by HNSW searches (greedy descent + beam)",
+);
+/// HNSW index searches served.
+pub static VECDB_HNSW_SEARCHES: Counter =
+    Counter::new("sage_vecdb_hnsw_searches_total", "Searches served by the HNSW index");
+/// Inverted-file cells probed by IVF searches.
+pub static VECDB_IVF_CELLS_PROBED: Counter = Counter::new(
+    "sage_vecdb_ivf_cells_probed_total",
+    "Inverted-list cells probed by IVF searches",
+);
+/// Similarity evaluations inside probed IVF cells (plus centroid scoring).
+pub static VECDB_IVF_DISTANCE_EVALS: Counter = Counter::new(
+    "sage_vecdb_ivf_distance_evals_total",
+    "Similarity evaluations performed by IVF searches (centroids + probed cells)",
+);
+/// IVF index searches served.
+pub static VECDB_IVF_SEARCHES: Counter =
+    Counter::new("sage_vecdb_ivf_searches_total", "Searches served by the IVF index");
+/// BM25 retrievals served.
+pub static BM25_SEARCHES: Counter =
+    Counter::new("sage_bm25_searches_total", "Queries served by the BM25 retriever");
+/// Posting-list entries scanned by BM25 retrievals.
+pub static BM25_POSTINGS_SCANNED: Counter = Counter::new(
+    "sage_bm25_postings_scanned_total",
+    "Posting-list entries scanned by BM25 retrievals",
+);
+/// Query embeddings computed by dense retrievers.
+pub static DENSE_QUERY_EMBEDS: Counter = Counter::new(
+    "sage_dense_query_embeds_total",
+    "Query embeddings computed by dense retrievers",
+);
+/// Cross-scorer rerank invocations.
+pub static RERANK_CALLS: Counter =
+    Counter::new("sage_rerank_calls_total", "Cross-scorer rerank invocations");
+/// Question/chunk pairs scored by the cross-scorer.
+pub static RERANK_PAIRS_SCORED: Counter = Counter::new(
+    "sage_rerank_pairs_scored_total",
+    "Question/chunk pairs scored by the cross-scorer",
+);
+/// Reader (answer-generation) LLM calls.
+pub static LLM_READER_CALLS: Counter =
+    Counter::new("sage_llm_reader_calls_total", "Reader (answer generation) LLM calls");
+/// Self-feedback LLM calls.
+pub static LLM_FEEDBACK_CALLS: Counter =
+    Counter::new("sage_llm_feedback_calls_total", "Self-feedback assessment LLM calls");
+/// Input (prompt) tokens consumed by all LLM calls.
+pub static LLM_INPUT_TOKENS: Counter =
+    Counter::new("sage_llm_input_tokens_total", "Prompt tokens consumed by LLM calls");
+/// Output (completion) tokens produced by all LLM calls.
+pub static LLM_OUTPUT_TOKENS: Counter =
+    Counter::new("sage_llm_output_tokens_total", "Completion tokens produced by LLM calls");
+
+/// Every registered counter, for the exporters.
+pub fn all() -> [&'static Counter; 16] {
+    [
+        &VECDB_FLAT_DISTANCE_EVALS,
+        &VECDB_FLAT_SEARCHES,
+        &VECDB_HNSW_DISTANCE_EVALS,
+        &VECDB_HNSW_SEARCHES,
+        &VECDB_IVF_CELLS_PROBED,
+        &VECDB_IVF_DISTANCE_EVALS,
+        &VECDB_IVF_SEARCHES,
+        &BM25_SEARCHES,
+        &BM25_POSTINGS_SCANNED,
+        &DENSE_QUERY_EMBEDS,
+        &RERANK_CALLS,
+        &RERANK_PAIRS_SCORED,
+        &LLM_READER_CALLS,
+        &LLM_FEEDBACK_CALLS,
+        &LLM_INPUT_TOKENS,
+        &LLM_OUTPUT_TOKENS,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gates_on_global_flag() {
+        static LOCAL: Counter = Counter::new("sage_test_local_total", "test only");
+        let before = crate::enabled();
+        crate::set_enabled(false);
+        LOCAL.add(5);
+        assert_eq!(LOCAL.get(), 0, "disabled counter must not move");
+        crate::set_enabled(true);
+        LOCAL.add(5);
+        LOCAL.inc();
+        assert_eq!(LOCAL.get(), 6);
+        crate::set_enabled(before);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for c in all() {
+            assert!(seen.insert(c.name()), "duplicate metric name {}", c.name());
+            assert!(c.name().starts_with("sage_"), "{}", c.name());
+            assert!(c.name().ends_with("_total"), "{}", c.name());
+            assert!(!c.help().is_empty());
+        }
+    }
+}

@@ -171,6 +171,8 @@ impl VectorIndex for FlatIndex {
             return Vec::new();
         }
         assert_eq!(query.len(), self.dim, "query dim mismatch");
+        sage_telemetry::metrics::VECDB_FLAT_SEARCHES.inc();
+        sage_telemetry::metrics::VECDB_FLAT_DISTANCE_EVALS.add(self.len() as u64);
         let mut heap: BinaryHeap<HeapHit> = BinaryHeap::with_capacity(n + 1);
         for id in 0..self.len() {
             let v = &self.data[id * self.dim..(id + 1) * self.dim];

@@ -115,13 +115,16 @@ impl HnswIndex {
     }
 
     /// Greedy hill-climb toward `query` at `layer`, starting from `start`.
-    fn greedy_step(&self, query: &[f32], start: usize, layer: usize) -> usize {
+    /// `evals` counts similarity evaluations for the caller's telemetry.
+    fn greedy_step(&self, query: &[f32], start: usize, layer: usize, evals: &mut u64) -> usize {
         let mut best = start;
         let mut best_score = self.sim(query, best);
+        *evals += 1;
         loop {
             let mut improved = false;
             for &nb in &self.links[best][layer] {
                 let s = self.sim(query, nb as usize);
+                *evals += 1;
                 if s > best_score {
                     best = nb as usize;
                     best_score = s;
@@ -136,10 +139,18 @@ impl HnswIndex {
 
     /// Best-first beam search at `layer` returning up to `ef` candidates
     /// sorted best-first.
-    fn beam_search(&self, query: &[f32], start: usize, layer: usize, ef: usize) -> Vec<Candidate> {
+    fn beam_search(
+        &self,
+        query: &[f32],
+        start: usize,
+        layer: usize,
+        ef: usize,
+        evals: &mut u64,
+    ) -> Vec<Candidate> {
         let mut visited = vec![false; self.links.len()];
         visited[start] = true;
         let s0 = self.sim(query, start);
+        *evals += 1;
         // Frontier: best-first. Results: keep the ef best seen (min at top
         // via Reverse ordering trick — we store negated comparison by
         // popping worst from a BinaryHeap of Reverse).
@@ -158,6 +169,7 @@ impl HnswIndex {
                 }
                 visited[nb] = true;
                 let s = self.sim(query, nb);
+                *evals += 1;
                 if results.len() < ef || s > worst(&results) {
                     frontier.push(Candidate { score: s, id: nb });
                     results.push(Candidate { score: s, id: nb });
@@ -222,17 +234,20 @@ impl VectorIndex for HnswIndex {
         let entry_level = self.links[entry].len() - 1;
 
         // Phase 1: greedy descent through layers above `level`.
+        // Construction-time similarity evaluations are not exported.
+        let mut build_evals = 0u64;
         let mut ep = entry;
         let mut layer = entry_level;
         while layer > level {
-            ep = self.greedy_step(&query, ep, layer);
+            ep = self.greedy_step(&query, ep, layer, &mut build_evals);
             layer -= 1;
         }
         // Phase 2: beam search + connect on each layer from min(level,
         // entry_level) down to 0.
         let top = level.min(entry_level);
         for l in (0..=top).rev() {
-            let candidates = self.beam_search(&query, ep, l, self.cfg.ef_construction);
+            let candidates =
+                self.beam_search(&query, ep, l, self.cfg.ef_construction, &mut build_evals);
             ep = candidates.first().map_or(ep, |c| c.id);
             self.connect(id, &candidates, l);
         }
@@ -251,13 +266,16 @@ impl VectorIndex for HnswIndex {
             return Vec::new();
         }
         assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let mut evals = 0u64;
         let mut ep = entry;
         let entry_level = self.links[entry].len() - 1;
         for layer in (1..=entry_level).rev() {
-            ep = self.greedy_step(query, ep, layer);
+            ep = self.greedy_step(query, ep, layer, &mut evals);
         }
         let ef = self.cfg.ef_search.max(n);
-        let beam = self.beam_search(query, ep, 0, ef);
+        let beam = self.beam_search(query, ep, 0, ef, &mut evals);
+        sage_telemetry::metrics::VECDB_HNSW_SEARCHES.inc();
+        sage_telemetry::metrics::VECDB_HNSW_DISTANCE_EVALS.add(evals);
         beam.into_iter().take(n).map(|c| Hit { id: c.id, score: c.score }).collect()
     }
 

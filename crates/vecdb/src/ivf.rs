@@ -113,6 +113,7 @@ impl IvfIndex {
                 score: self.metric.similarity(query, self.vec_of(id as usize)),
             })
             .collect();
+        sage_telemetry::metrics::VECDB_IVF_DISTANCE_EVALS.add(hits.len() as u64);
         hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
         hits.truncate(n);
         hits
@@ -143,6 +144,7 @@ impl VectorIndex for IvfIndex {
             return Vec::new();
         }
         assert_eq!(query.len(), self.dim, "query dim mismatch");
+        sage_telemetry::metrics::VECDB_IVF_SEARCHES.inc();
         if !self.is_trained() {
             // Exact scan over the pre-training buffer.
             let all: Vec<u32> = (0..self.count as u32).collect();
@@ -156,10 +158,9 @@ impl VectorIndex for IvfIndex {
             .map(|(i, c)| (squared_distance(query, c), i))
             .collect();
         cell_order.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-        let probed = cell_order
-            .iter()
-            .take(self.cfg.nprobe.max(1))
-            .flat_map(|&(_, cell)| self.cells[cell].iter());
+        let nprobe = self.cfg.nprobe.max(1).min(cell_order.len());
+        sage_telemetry::metrics::VECDB_IVF_CELLS_PROBED.add(nprobe as u64);
+        let probed = cell_order.iter().take(nprobe).flat_map(|&(_, cell)| self.cells[cell].iter());
         self.score_ids(query, probed, n)
     }
 

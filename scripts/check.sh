@@ -1,14 +1,24 @@
 #!/bin/bash
 # Tier-1 gate: the checks every PR must keep green.
 #
-#   scripts/check.sh            # build + tests + clippy
-#   scripts/check.sh fast       # skip clippy
+#   scripts/check.sh            # build + tests + clippy + telemetry smoke
+#   scripts/check.sh fast       # skip clippy and the smoke test
 #
 # Offline environments without the crates.io dependencies can use
 # scripts/offline/buildws.sh instead (bare-rustc harness with functional
 # stubs for rand/bytes/parking_lot/serde/proptest/criterion).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "=== println lint (library crates must stay silent)"
+# Library crates report through sage-telemetry, never by printing; only the
+# CLI and the bench harness may write to stdout/stderr directly.
+if grep -rn --include='*.rs' -E '\b(println|eprintln)!' crates/*/src \
+    | grep -vE '^crates/(cli|bench)/'; then
+  echo "FAIL: println!/eprintln! in a library crate (use telemetry instead)"
+  exit 1
+fi
+echo "ok"
 
 echo "=== cargo build --release"
 cargo build --release --workspace
@@ -19,6 +29,34 @@ cargo test -q --workspace
 if [ "${1:-}" != fast ]; then
   echo "=== cargo clippy --all-targets -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
+
+  echo "=== telemetry smoke (exporters well-formed)"
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  printf 'Whiskers is a playful tabby cat. He has bright green eyes.\n\nDorinwick was well known in the region. He lives in Ashford.\n' \
+    > "$tmp/corpus.txt"
+  cargo run -q --release -p sage-cli -- ask \
+    --file "$tmp/corpus.txt" \
+    --question "What is the color of Whiskers's eyes?" \
+    --telemetry --metrics-out "$tmp/metrics.prom" --trace-out "$tmp/trace.jsonl" \
+    > "$tmp/answer.txt" 2> "$tmp/summary.txt"
+  grep -q green "$tmp/answer.txt" || { echo "FAIL: wrong answer"; cat "$tmp/answer.txt"; exit 1; }
+  grep -q 'sage telemetry' "$tmp/summary.txt" || { echo "FAIL: no stderr summary"; exit 1; }
+  grep -q '"name":"retrieve"' "$tmp/trace.jsonl" || { echo "FAIL: no retrieve span in trace"; exit 1; }
+  # The Prometheus dump must have TYPE lines, no duplicate metric names,
+  # and finite sample values.
+  awk '
+    /^# TYPE / { types++; if (seen[$3]++) { print "FAIL: duplicate # TYPE " $3; bad = 1 } }
+    /^[a-z]/ {
+      v = $NF
+      if (v !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/) { print "FAIL: non-finite sample: " $0; bad = 1 }
+    }
+    END {
+      if (types == 0) { print "FAIL: no # TYPE lines"; bad = 1 }
+      exit bad
+    }
+  ' "$tmp/metrics.prom"
+  echo "telemetry smoke ok"
 fi
 
 echo "=== tier-1 gate OK"

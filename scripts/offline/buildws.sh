@@ -89,18 +89,19 @@ test_crate() { # crate_name src_path deps...
 # name src deps... (dependency order)
 CRATES=(
   "sage_text crates/text/src/lib.rs"
+  "sage_telemetry crates/telemetry/src/lib.rs"
   "sage_nn crates/nn/src/lib.rs rand bytes"
   "sage_embed crates/embed/src/lib.rs bytes sage_text sage_nn rand"
-  "sage_vecdb crates/vecdb/src/lib.rs sage_nn rand parking_lot bytes"
-  "sage_retrieval crates/retrieval/src/lib.rs sage_text sage_embed sage_vecdb"
+  "sage_vecdb crates/vecdb/src/lib.rs sage_nn sage_telemetry rand parking_lot bytes"
+  "sage_retrieval crates/retrieval/src/lib.rs sage_text sage_embed sage_vecdb sage_telemetry"
   "sage_corpus crates/corpus/src/lib.rs sage_text rand"
   "sage_segment crates/segment/src/lib.rs bytes sage_text sage_nn sage_embed sage_corpus"
-  "sage_rerank crates/rerank/src/lib.rs bytes sage_text sage_nn sage_embed sage_corpus"
+  "sage_rerank crates/rerank/src/lib.rs bytes sage_text sage_nn sage_embed sage_corpus sage_telemetry"
   "sage_eval crates/eval/src/lib.rs sage_text rand serde"
-  "sage_llm crates/llm/src/lib.rs sage_text sage_eval sage_corpus rand"
+  "sage_llm crates/llm/src/lib.rs sage_text sage_eval sage_corpus sage_telemetry rand"
   "sage_resilience crates/resilience/src/lib.rs"
-  "sage_core crates/core/src/lib.rs bytes sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_llm sage_eval sage_resilience rand serde"
-  "sage src/lib.rs sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_resilience sage_llm sage_eval sage_core"
+  "sage_core crates/core/src/lib.rs bytes sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_llm sage_eval sage_resilience sage_telemetry rand serde"
+  "sage src/lib.rs sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_resilience sage_telemetry sage_llm sage_eval sage_core"
 )
 
 for entry in "${CRATES[@]}"; do
@@ -132,7 +133,7 @@ if { [ "$MODE" = test ] || [ "$MODE" = clippy ]; } && { [ -z "$FILTER" ] || [ "$
   fi
 fi
 
-echo "--- sage_bench (lib) + fault_resilience bench"
+echo "--- sage_bench (lib) + benches"
 e=$(ext sage rand criterion)
 "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-type rlib --crate-name sage_bench crates/bench/src/lib.rs \
   -o "$OUT/libsage_bench.rlib" $e 2>&1 | head -60
@@ -141,6 +142,9 @@ e=$(ext sage rand criterion sage_bench)
 "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name fault_resilience crates/bench/benches/fault_resilience.rs \
   -o "$OUT/bench_fault_resilience" $e 2>&1 | head -60
 [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: fault_resilience bench"; fail=1; }
+"$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name telemetry_overhead crates/bench/benches/telemetry_overhead.rs \
+  -o "$OUT/bench_telemetry_overhead" $e 2>&1 | head -60
+[ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: telemetry_overhead bench"; fail=1; }
 
 if [ "$MODE" = test ] || [ "$MODE" = clippy ]; then
   for t in tests/end_to_end.rs tests/robustness.rs tests/properties.rs; do

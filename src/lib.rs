@@ -23,6 +23,7 @@
 //! | [`llm`] | `sage-llm` | simulated LLM readers, self-feedback judge, cost model |
 //! | [`eval`] | `sage-eval` | ROUGE/BLEU/METEOR/F1 + Eq.1/Eq.2 cost efficiency |
 //! | [`resilience`] | `sage-resilience` | deterministic fault injection, retries, breakers |
+//! | [`telemetry`] | `sage-telemetry` | spans, stage histograms, cost ledger, exporters |
 //! | [`core`] | `sage-core` | the assembled pipeline, baselines, experiment harnesses |
 //!
 //! ## Quickstart
@@ -71,6 +72,7 @@ pub use sage_rerank as rerank;
 pub use sage_resilience as resilience;
 pub use sage_retrieval as retrieval;
 pub use sage_segment as segment;
+pub use sage_telemetry as telemetry;
 pub use sage_text as text;
 pub use sage_vecdb as vecdb;
 
@@ -93,5 +95,6 @@ pub mod prelude {
     pub use sage_rerank::{gradient_select, CrossScorer, FlexibleSelector, SelectionConfig};
     pub use sage_retrieval::{Bm25Retriever, DenseRetriever, Retriever};
     pub use sage_segment::{SegmentationModel, Segmenter, SemanticSegmenter, SentenceSegmenter};
+    pub use sage_telemetry::{HistogramSnapshot, Stage, Telemetry};
     pub use sage_vecdb::{FlatIndex, HnswIndex, IvfIndex, VectorIndex};
 }

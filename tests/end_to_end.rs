@@ -213,3 +213,95 @@ fn feedback_loop_spends_more_tokens_when_struggling() {
     assert!(hopeless.cost.input_tokens >= clean.cost.input_tokens);
     assert_eq!(hopeless.answer.text, "unanswerable");
 }
+
+fn telemetry_corpus() -> Vec<String> {
+    vec![
+        "Whiskers is a playful tabby cat. He has bright green eyes. His fur is mostly gray.\n\
+         The morning fog settled over the valley, as it had for many years.\n\
+         Dorinwick was well known in the region. He lives in Ashford. He works as a baker."
+            .to_string(),
+    ]
+}
+
+#[test]
+fn telemetry_observes_the_full_serving_path() {
+    use std::time::Duration;
+    let plain = RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &telemetry_corpus(),
+    );
+    let mut system = RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &telemetry_corpus(),
+    );
+    let hub = system.enable_telemetry();
+
+    // Build stats carry real measured times, surfaced through the hub.
+    let stats = system.build_stats();
+    assert!(stats.segmentation_time > Duration::ZERO, "segmentation time not measured");
+    assert!(stats.index_time > Duration::ZERO, "index time not measured");
+    assert_eq!(hub.builds().len(), 1);
+    assert!(hub.builds()[0].segmentation_ns > 0);
+
+    let q = "What is the color of Whiskers's eyes?";
+    let r = system.answer_open(q);
+    // Observation must not change the answer.
+    assert_eq!(r.answer.text, plain.answer_open(q).answer.text);
+
+    // The query trace covers every serving stage.
+    let jsonl = hub.traces_jsonl();
+    for name in ["\"name\":\"retrieve\"", "\"name\":\"rerank\"", "\"name\":\"read\""] {
+        assert!(jsonl.contains(name), "missing {name} in trace: {jsonl}");
+    }
+
+    // The ledger attributes exactly the tokens the query reported.
+    let total = hub.ledger().total();
+    assert_eq!(total.input_tokens + total.output_tokens, r.cost.total_tokens());
+    assert_eq!(total.input_tokens, r.cost.input_tokens);
+
+    // Histograms saw the stages and the query.
+    assert!(hub.stage_snapshot(Stage::Retrieve).count() >= 1);
+    assert!(hub.stage_snapshot(Stage::Read).count() >= 1);
+    assert_eq!(hub.query_count(), 1);
+    assert!(hub.query_snapshot().quantile(0.99) > 0);
+
+    // Exporters reflect the same run.
+    let summary = sage::telemetry::export::summary(&hub, None);
+    assert!(summary.contains("segmentation"), "summary: {summary}");
+    let prom = sage::telemetry::export::prometheus(&hub, None);
+    assert!(prom.contains("# TYPE"), "prometheus dump lacks TYPE lines");
+    assert!(prom.contains("sage_queries_total 1"), "prometheus: {prom}");
+}
+
+#[test]
+fn degrade_events_are_folded_into_query_traces() {
+    let mut system = RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &telemetry_corpus(),
+    );
+    let plan = FaultPlan::seeded(0xDE6)
+        .with(Component::Reranker, Rates { corrupt: 1.0, ..Rates::default() });
+    system.enable_resilience(ResilienceConfig::with_plan(plan));
+    let hub = system.enable_telemetry();
+
+    let r = system.answer_open("What is the color of Whiskers's eyes?");
+    assert!(!r.degraded.events.is_empty(), "always-corrupt reranker must degrade");
+
+    // The degradation shows up inline in the same query trace, labelled
+    // with the failing component and the fallback that served instead.
+    let jsonl = hub.traces_jsonl();
+    assert!(jsonl.contains("\"name\":\"degrade\""), "trace: {jsonl}");
+    let e = &r.degraded.events[0];
+    assert!(jsonl.contains(e.component.label()), "component label missing: {jsonl}");
+    assert!(jsonl.contains(e.fallback.label()), "fallback label missing: {jsonl}");
+    assert!(hub.degrade_count() >= r.degraded.events.len() as u64);
+}

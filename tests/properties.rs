@@ -418,3 +418,128 @@ proptest! {
         prop_assert_eq!(&a.degraded, &b.degraded);
     }
 }
+
+// --- telemetry -----------------------------------------------------------
+
+fn histogram_snapshot_of(values: &[u64]) -> sage::telemetry::HistogramSnapshot {
+    let h = sage::telemetry::Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(0u32..u32::MAX, 0..50),
+        b in proptest::collection::vec(0u32..u32::MAX, 0..50),
+        c in proptest::collection::vec(0u32..u32::MAX, 0..50),
+    ) {
+        let widen = |v: &[u32]| v.iter().map(|&x| x as u64).collect::<Vec<u64>>();
+        let (sa, sb, sc) = (
+            histogram_snapshot_of(&widen(&a)),
+            histogram_snapshot_of(&widen(&b)),
+            histogram_snapshot_of(&widen(&c)),
+        );
+        // (a + b) + c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a + (b + c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+        // Merging is exact: the merged snapshot equals one histogram fed
+        // the concatenation.
+        let mut all = widen(&a);
+        all.extend(widen(&b));
+        all.extend(widen(&c));
+        prop_assert_eq!(left, histogram_snapshot_of(&all));
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_the_true_bucket(
+        mut values in proptest::collection::vec(0u64..1_000_000_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        use sage::telemetry::hist::bucket_of;
+        let s = histogram_snapshot_of(&values);
+        values.sort_unstable();
+        let n = values.len() as u64;
+        // The estimate must fall in the same log-bucket as the true order
+        // statistic of the same rank — i.e. within one bucket width.
+        for q in [q, 0.50, 0.99] {
+            let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let truth = values[(rank - 1) as usize];
+            prop_assert_eq!(
+                bucket_of(s.quantile(q)),
+                bucket_of(truth),
+                "q={} rank={} truth={} est={}", q, rank, truth, s.quantile(q)
+            );
+        }
+    }
+}
+
+/// Blank out the digit runs after the wall-clock keys (`"start_ns":` and
+/// `"dur_ns":`) so two traces of the same run can be compared exactly.
+fn strip_wallclock(s: &str) -> String {
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let rest = &b[i..];
+        let matched = [b"\"start_ns\":".as_slice(), b"\"dur_ns\":".as_slice()]
+            .into_iter()
+            .find(|k| rest.starts_with(k));
+        if let Some(k) = matched {
+            out.extend_from_slice(k);
+            i += k.len();
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+        } else {
+            out.push(b[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).expect("stripping ASCII digits keeps UTF-8 valid")
+}
+
+#[test]
+fn telemetry_traces_are_deterministic_modulo_wallclock() {
+    use sage::core::config::{RetrieverKind, SageConfig};
+    use sage::core::models::{TrainBudget, TrainedModels};
+    use sage::core::pipeline::RagSystem;
+    use sage::llm::LlmProfile;
+
+    let models = TrainedModels::train(TrainBudget::tiny());
+    let corpus = vec![
+        "Whiskers is a playful tabby cat. He has bright green eyes.\n\
+         Dorinwick was well known in the region. He lives in Ashford."
+            .to_string(),
+    ];
+    let trace_of = || {
+        let mut system = RagSystem::build(
+            &models,
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &corpus,
+        );
+        let hub = system.enable_telemetry();
+        system.answer_open("What is the color of Whiskers's eyes?");
+        hub.traces_jsonl()
+    };
+    let a = trace_of();
+    let b = trace_of();
+    assert!(!a.is_empty(), "no trace recorded");
+    // Identical builds + identical question -> identical span structure,
+    // names, parents, and fields; only wall-clock readings may differ.
+    assert_eq!(strip_wallclock(&a), strip_wallclock(&b));
+    // Sanity: the stripper actually removed timing digits.
+    assert_ne!(strip_wallclock(&a), a);
+}
