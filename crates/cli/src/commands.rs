@@ -308,6 +308,28 @@ pub fn eval(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `sage lint` — run the workspace static analyzer (`sage-lint`) over a
+/// source tree. Exits nonzero when violations survive suppression, so
+/// `scripts/check.sh` and CI can gate on it.
+pub fn lint(flags: &Flags) -> Result<(), String> {
+    let root = flags.get_or("root", ".");
+    let report = sage::lint::workspace_report(std::path::Path::new(root))
+        .map_err(|e| format!("cannot scan {root}: {e}"))?;
+    if report.files_scanned == 0 {
+        return Err(format!("{root} has no workspace sources (expected src/ or crates/*/src/)"));
+    }
+    if flags.has("json") {
+        println!("{}", sage::lint::render_json(&report));
+    } else {
+        print!("{}", sage::lint::render_human(&report));
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} lint violation(s)", report.violations.len()))
+    }
+}
+
 /// `sage demo` — the quickstart corpus, end to end.
 pub fn demo() -> Result<(), String> {
     let corpus = vec![
@@ -350,6 +372,7 @@ USAGE:
   sage index   --file <path> --out <index> [--retriever R] [--naive]
   sage query   --index <index> --question \"...\" [--llm L]
   sage train   --out <path>         # save the trained model bundle
+  sage lint    [--root <path>] [--json]   # workspace static analysis
   sage demo
   sage help
 
@@ -379,6 +402,14 @@ TELEMETRY (ask, query):
                         counters, histograms, and cost gauges
   Any telemetry flag attaches the recorder; overhead when none is given
   is a single relaxed atomic load per instrumentation site.
+
+LINT:
+  sage lint walks src/ and crates/*/src/ under --root (default: the
+  current directory) and enforces the workspace invariants: no-print,
+  no-panic-serving, deterministic-iteration, no-wallclock, layering,
+  relaxed-atomics-confined. Suppressions are inline comment markers
+  carrying a justification (see DESIGN.md). --json emits one JSON
+  object for machine consumers; exit status is nonzero on violations.
 
 Corpus files: paragraphs separated by blank lines."
     );

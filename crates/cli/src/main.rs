@@ -8,6 +8,7 @@
 //! sage eval    --dataset quality|qasper|narrativeqa [--method sage|naive]
 //!              [--docs N] [--questions M] [--llm L]
 //! sage train   --out models.bin
+//! sage lint    [--root PATH] [--json]
 //! sage demo
 //! sage help
 //! ```
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         "train" => commands::train(&parsed),
         "index" => commands::index(&parsed),
         "query" => commands::query(&parsed),
+        "lint" => commands::lint(&parsed),
         "demo" => commands::demo(),
         "help" | "--help" | "-h" => {
             commands::print_help();

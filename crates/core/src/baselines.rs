@@ -26,7 +26,7 @@ use sage_eval::Cost;
 use sage_llm::{LlmProfile, SimLlm};
 use sage_segment::Segmenter;
 use sage_text::{count_tokens, is_stopword, split_sentences, stem, tokenize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// A QA method under evaluation.
@@ -180,6 +180,7 @@ impl DocSystem {
                 answer_with_context(llm, question, options, context.clone(), Duration::ZERO)
             }
             DocSystem::Colisa { sentences, llm, keep } => {
+                // sage-lint: allow(no-wallclock) - retrieval latency bookkeeping feeding QueryResult, mirroring the pipeline's timing; nothing branches on it
                 let start = Instant::now();
                 let context = colisa_select(sentences, question, options, *keep);
                 let retrieval = start.elapsed();
@@ -300,8 +301,10 @@ pub fn recursive_summary(text: &str, budget: usize) -> Vec<String> {
         if count_tokens(&current) <= budget {
             break;
         }
-        // Document-level term frequencies (centrality weights).
-        let mut tf: HashMap<String, f32> = HashMap::new();
+        // Document-level term frequencies (centrality weights). BTreeMap
+        // so the map is deterministic however it is consumed; the seed's
+        // HashMap made chunk ordering RandomState-dependent in principle.
+        let mut tf: BTreeMap<String, f32> = BTreeMap::new();
         for t in tokenize(&current) {
             if !is_stopword(&t) {
                 *tf.entry(stem(&t)).or_insert(0.0) += 1.0;
@@ -392,7 +395,7 @@ fn colisa_select(
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            let stems: std::collections::HashSet<String> =
+            let stems: std::collections::BTreeSet<String> =
                 tokenize(s).iter().filter(|t| !is_stopword(t)).map(|t| stem(t)).collect();
             let hits = probe_stems.iter().filter(|p| stems.contains(*p)).count();
             (hits as f32, i)

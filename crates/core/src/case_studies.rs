@@ -122,7 +122,9 @@ fn run_case(
         };
         let system = RagSystem::build(models, RetrieverKind::OpenAiSim, cfg, profile, &corpus);
         let r = system.answer_multiple_choice(&question, &options);
-        let picked = r.picked_option.expect("mc answer");
+        // A reader that declines to pick is scored as the out-of-range
+        // option index, i.e. incorrect, rather than aborting the sweep.
+        let picked = r.picked_option.unwrap_or(options.len());
         sweep.push(SweepPoint { k, picked, correct: picked == correct });
     }
     // SAGE with gradient selection (no feedback, to isolate selection).

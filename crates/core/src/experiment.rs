@@ -74,7 +74,7 @@ pub fn evaluate(
         if built.as_ref().map(|(d, _)| *d) != Some(task.doc) {
             built = Some((task.doc, method.build(models, profile, &dataset.documents[task.doc])));
         }
-        let (_, system) = built.as_ref().expect("just built");
+        let Some((_, system)) = built.as_ref() else { continue };
         let item = &task.item;
         n += 1;
         if item.is_multiple_choice() {

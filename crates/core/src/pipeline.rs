@@ -1,6 +1,8 @@
 //! The SAGE pipeline (paper Figure 2): build (segment → embed → index) and
 //! query (retrieve → rerank → gradient-select → generate → self-feedback).
 
+// sage-lint: allow-file(no-wallclock) - this file IS the latency measurement layer: build/query stage timings feed BuildStats, QueryResult and the telemetry stage histograms; no control flow branches on the readings
+
 use crate::config::{RetrieverKind, SageConfig};
 use crate::models::TrainedModels;
 use crate::resilience::{QueryGuards, ResilienceConfig, ResilienceState};
@@ -405,6 +407,7 @@ impl RagSystem {
             .into_iter()
             .map(|r| match r {
                 Ok(result) => result,
+                // sage-lint: allow(no-panic-serving) - documented pre-resilience contract: this method re-raises per-question failures; try_answer_batch is the isolating alternative
                 Err(e) => panic!("question failed: {e}"),
             })
             .collect()
@@ -569,10 +572,16 @@ impl RagSystem {
                 // pin `retrieve == search_with(embed_query(q))`).
                 let embed_start = Instant::now();
                 let sid = span_enter(qt, "embed");
-                let v = self.retriever.embed_query(question).expect("dense retriever");
+                let v = self.retriever.embed_query(question);
                 span_exit(qt, sid);
                 self.tel_stage(Stage::Embed, embed_start.elapsed());
-                return self.retriever.search_dense(&v, n).expect("dense retriever");
+                return match v.and_then(|v| self.retriever.search_dense(&v, n)) {
+                    Some(hits) => hits,
+                    // A retriever that reports is_dense() but cannot
+                    // embed or search falls back to its own entry point
+                    // instead of aborting the query.
+                    None => self.retriever.retrieve(question, n),
+                };
             }
             return self.retriever.retrieve(question, n);
         };
@@ -582,7 +591,10 @@ impl RagSystem {
         let embedded = g.guard(Component::Embedder).run(
             Component::Embedder,
             question,
-            || self.retriever.embed_query(question).expect("dense retriever"),
+            // None embeds as the empty vector, which the validator below
+            // rejects, so the guard degrades DenseToBm25 instead of
+            // panicking inside the guarded closure.
+            || self.retriever.embed_query(question).unwrap_or_default(),
             |v| {
                 for x in v.iter_mut() {
                     *x = f32::NAN;
@@ -631,8 +643,11 @@ impl RagSystem {
                     // The exact scan is the ANN tier's fallback, not
                     // another instance of the same failing component —
                     // it runs unguarded so a fully-failed ANN index
-                    // still serves exact results.
-                    self.retriever.search_dense(&query_vec, n).expect("dense retriever")
+                    // still serves exact results. If even the exact scan
+                    // is unavailable the chain bottoms out at BM25.
+                    self.retriever
+                        .search_dense(&query_vec, n)
+                        .unwrap_or_else(|| g.state.bm25.retrieve(question, n))
                 }
             };
         }
@@ -640,7 +655,14 @@ impl RagSystem {
         let exact = g.guard(Component::IndexSearch).run(
             Component::IndexSearch,
             question,
-            || self.retriever.search_dense(&query_vec, n).expect("dense retriever"),
+            // None becomes a single NaN-scored sentinel hit, which the
+            // validator rejects, so the guard degrades DenseToBm25
+            // instead of panicking inside the guarded closure.
+            || {
+                self.retriever
+                    .search_dense(&query_vec, n)
+                    .unwrap_or_else(|| vec![ScoredChunk { index: 0, score: f32::NAN }])
+            },
             poison_scores,
             finite_scores,
         );

@@ -82,18 +82,7 @@ impl ResilienceState {
     ) -> Self {
         let mut bm25 = Bm25Retriever::new();
         bm25.index(chunks);
-        let hnsw = if config.use_hnsw {
-            dense.map(|flat| {
-                let mut h = HnswIndex::cosine();
-                for id in 0..flat.len() {
-                    let v = flat.vector(id).expect("flat index ids are dense");
-                    h.add(v.to_vec());
-                }
-                h
-            })
-        } else {
-            None
-        };
+        let hnsw = if config.use_hnsw { dense.map(hnsw_from_flat) } else { None };
         Self { config, bm25, hnsw, counters: FallbackCounters::new() }
     }
 
@@ -103,15 +92,23 @@ impl ResilienceState {
         self.bm25.index(chunks);
         if self.config.use_hnsw {
             if let Some(flat) = dense {
-                let mut h = HnswIndex::cosine();
-                for id in 0..flat.len() {
-                    let v = flat.vector(id).expect("flat index ids are dense");
-                    h.add(v.to_vec());
-                }
-                self.hnsw = Some(h);
+                self.hnsw = Some(hnsw_from_flat(flat));
             }
         }
     }
+}
+
+/// Copy every vector of a flat index into a fresh ANN tier. Flat index
+/// ids are dense (0..len), so the loop normally runs to completion; if
+/// that invariant ever breaks, stopping early keeps the already-copied
+/// prefix id-aligned rather than aborting the build.
+fn hnsw_from_flat(flat: &FlatIndex) -> HnswIndex {
+    let mut h = HnswIndex::cosine();
+    for id in 0..flat.len() {
+        let Some(v) = flat.vector(id) else { break };
+        h.add(v.to_vec());
+    }
+    h
 }
 
 /// Per-query guard context: one circuit breaker per component and a fresh

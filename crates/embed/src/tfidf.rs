@@ -8,7 +8,7 @@
 use crate::Embedder;
 use sage_nn::matrix::l2_normalize;
 use sage_text::{hash_token, stem, tokenize, Vocab};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// TF-IDF weighted hashed encoder. Create via [`TfIdfEmbedder::fit`].
 #[derive(Debug, Clone)]
@@ -44,7 +44,11 @@ impl Embedder for TfIdfEmbedder {
     }
 
     fn embed(&self, text: &str) -> Vec<f32> {
-        let mut counts: HashMap<String, f32> = HashMap::new();
+        // BTreeMap, not HashMap: terms hashing to the same bucket are
+        // accumulated in iteration order, and float addition is not
+        // associative — a RandomState-ordered walk would make embeddings
+        // differ across processes at the last ulp.
+        let mut counts: BTreeMap<String, f32> = BTreeMap::new();
         for tok in tokenize(text) {
             *counts.entry(stem(&tok)).or_insert(0.0) += 1.0;
         }

@@ -53,6 +53,7 @@ fn f1_single(candidate: &str, reference: &str) -> f32 {
         return if c.is_empty() && r.is_empty() { 1.0 } else { 0.0 };
     }
     // Multiset intersection.
+    // sage-lint: allow(deterministic-iteration) - integer multiset counts consumed by commutative min/sum; iteration order cannot change the score
     let mut counts = std::collections::HashMap::new();
     for t in &r {
         *counts.entry(t.as_str()).or_insert(0i32) += 1;

@@ -1,0 +1,389 @@
+//! `sage-lint` — dependency-free static analysis for the SAGE workspace.
+//!
+//! The analyzer lexes every `.rs` file in the workspace with its own
+//! minimal Rust lexer ([`lexer`]) — comments, strings, raw strings, and
+//! char literals are skipped, so rules can never fire on text content —
+//! and runs six token-pattern rules ([`rules`]) that enforce the
+//! invariants SAGE's evaluation rests on: determinism, panic-freedom on
+//! the serving path, and the inter-crate layering DAG.
+//!
+//! A violation can be suppressed with an inline comment marker naming
+//! the rule and carrying a justification (the exact grammar is
+//! documented in DESIGN.md §Static analysis). A marker with an unknown
+//! rule name or a missing/too-short justification is itself reported as
+//! a `bad-allow` violation, which cannot be suppressed.
+//!
+//! Three consumers share this crate: the `sage-cli lint` subcommand,
+//! the tier-1 test in `tests/static_analysis.rs`, and the
+//! `scripts/check.sh` gate.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule name, e.g. `no-print`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-oriented explanation including the remediation.
+    pub message: String,
+}
+
+impl Violation {
+    pub(crate) fn new(rule: &'static str, file: &str, line: u32, message: String) -> Self {
+        Violation { rule, file: file.to_string(), line, message }
+    }
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations that survived suppression, in source order.
+    pub violations: Vec<Violation>,
+    /// How many violations were suppressed by valid allow markers.
+    pub suppressed: usize,
+}
+
+/// The outcome of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All surviving violations, grouped by file in walk order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Total violations suppressed by valid allow markers.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lint a single file's source text. `crate_key` is the workspace crate
+/// the file belongs to (`"core"`, `"text"`, …, or `"sage"` for the
+/// facade); `file` is the path used in diagnostics.
+pub fn lint_source(crate_key: &str, file: &str, source: &str) -> FileReport {
+    let lexed = lexer::lex(source);
+    let raw = rules::check_file(crate_key, file, &lexed.tokens);
+
+    // Validate markers first: malformed ones become bad-allow violations
+    // and never suppress anything.
+    let mut valid = Vec::new();
+    let mut out: Vec<Violation> = Vec::new();
+    for m in &lexed.markers {
+        let unknown: Vec<&str> = m
+            .rules
+            .iter()
+            .map(|r| r.as_str())
+            .filter(|r| !rules::ALL_RULES.contains(r))
+            .collect();
+        if m.rules.is_empty() {
+            out.push(Violation::new(
+                rules::BAD_ALLOW,
+                file,
+                m.line,
+                "malformed suppression marker: expected `allow(<rules>)` or \
+                 `allow-file(<rules>)` with at least one rule name"
+                    .to_string(),
+            ));
+        } else if !unknown.is_empty() {
+            out.push(Violation::new(
+                rules::BAD_ALLOW,
+                file,
+                m.line,
+                format!("suppression marker names unknown rule(s): {}", unknown.join(", ")),
+            ));
+        } else if !m.justified() {
+            out.push(Violation::new(
+                rules::BAD_ALLOW,
+                file,
+                m.line,
+                "suppression marker lacks a justification: explain why the \
+                 invariant holds here"
+                    .to_string(),
+            ));
+        } else {
+            valid.push(m);
+        }
+    }
+
+    let mut suppressed = 0usize;
+    for v in raw {
+        let hit = valid.iter().any(|m| {
+            m.rules.iter().any(|r| r == v.rule)
+                && (m.file_level || m.line == v.line || m.line + 1 == v.line)
+        });
+        if hit {
+            suppressed += 1;
+        } else {
+            out.push(v);
+        }
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    FileReport { violations: out, suppressed }
+}
+
+/// Map a workspace-relative path to its crate key: `crates/<key>/src/…`
+/// for member crates, `src/…` for the facade (key `"sage"`).
+fn crate_key_of(rel: &str) -> Option<&str> {
+    let rel = rel.strip_prefix("./").unwrap_or(rel);
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let key = rest.split('/').next().unwrap_or("");
+        if rest[key.len()..].starts_with("/src/") {
+            return Some(&rest[..key.len()]);
+        }
+        return None;
+    }
+    if rel.starts_with("src/") {
+        return Some("sage");
+    }
+    None
+}
+
+/// Collect every `.rs` file under `dir`, recursively, in sorted order so
+/// reports are stable across filesystems.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every workspace crate under `root`: `src/` (the facade) and each
+/// `crates/<name>/src/`. Integration tests under `tests/` are not
+/// scanned — they are test code, which the rules exempt anyway.
+pub fn workspace_report(root: &Path) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for m in members {
+            let src = m.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(key) = crate_key_of(&rel) else { continue };
+        let key = key.to_string();
+        let source = std::fs::read_to_string(&path)?;
+        let fr = lint_source(&key, &rel, &source);
+        report.files_scanned += 1;
+        report.suppressed += fr.suppressed;
+        report.violations.extend(fr.violations);
+    }
+    Ok(report)
+}
+
+/// Render a report for terminals: one `file:line: [rule] message` per
+/// violation plus a summary line.
+pub fn render_human(report: &Report) -> String {
+    let mut s = String::new();
+    for v in &report.violations {
+        let _ = writeln!(s, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    if report.is_clean() {
+        let _ = writeln!(
+            s,
+            "lint clean: {} files scanned, {} violation(s) suppressed by allow markers",
+            report.files_scanned, report.suppressed
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "{} violation(s) in {} files scanned ({} suppressed)",
+            report.violations.len(),
+            report.files_scanned,
+            report.suppressed
+        );
+    }
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a report as a single JSON object (machine consumers: CI and
+/// the check.sh gate).
+pub fn render_json(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\"files_scanned\":");
+    let _ = write!(s, "{}", report.files_scanned);
+    let _ = write!(s, ",\"suppressed\":{}", report.suppressed);
+    let _ = write!(s, ",\"clean\":{}", report.is_clean());
+    s.push_str(",\"violations\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(v.rule),
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.message)
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &str = "core"; // strictest crate: serving + library rules
+
+    #[test]
+    fn violations_survive_without_marker() {
+        let fr = lint_source(KEY, "x.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert_eq!(fr.violations.len(), 1);
+        assert_eq!(fr.violations[0].rule, rules::NO_PANIC_SERVING);
+        assert_eq!(fr.suppressed, 0);
+    }
+
+    #[test]
+    fn same_line_marker_suppresses() {
+        let m = "sage-lint: allow(no-panic-serving) - input validated three lines up";
+        let src = format!("fn f(x: Option<u8>) -> u8 {{ x.unwrap() }} // {m}\n");
+        let fr = lint_source(KEY, "x.rs", &src);
+        assert!(fr.violations.is_empty(), "{:?}", fr.violations);
+        assert_eq!(fr.suppressed, 1);
+    }
+
+    #[test]
+    fn line_above_marker_suppresses() {
+        let m = "sage-lint: allow(no-wallclock) - latency probe feeding QueryResult";
+        let src = format!("// {m}\nlet t = Instant::now();\n");
+        let fr = lint_source(KEY, "x.rs", &src);
+        assert!(fr.violations.is_empty(), "{:?}", fr.violations);
+        assert_eq!(fr.suppressed, 1);
+    }
+
+    #[test]
+    fn file_level_marker_suppresses_everywhere() {
+        let m = "sage-lint: allow-file(deterministic-iteration) - sets used for membership only";
+        let src = format!(
+            "// {m}\nfn f() {{ let a = HashSet::new(); }}\nfn g() {{ let b = HashSet::new(); }}\n"
+        );
+        let fr = lint_source(KEY, "x.rs", &src);
+        assert!(fr.violations.is_empty(), "{:?}", fr.violations);
+        assert_eq!(fr.suppressed, 2);
+    }
+
+    #[test]
+    fn marker_for_other_rule_does_not_suppress() {
+        let m = "sage-lint: allow(no-print) - wrong rule named on purpose here";
+        let src = format!("fn f(x: Option<u8>) -> u8 {{ x.unwrap() }} // {m}\n");
+        let fr = lint_source(KEY, "x.rs", &src);
+        assert_eq!(fr.violations.len(), 1);
+        assert_eq!(fr.violations[0].rule, rules::NO_PANIC_SERVING);
+    }
+
+    #[test]
+    fn unjustified_marker_is_bad_allow_and_does_not_suppress() {
+        let m = "sage-lint: allow(no-panic-serving)";
+        let src = format!("fn f(x: Option<u8>) -> u8 {{ x.unwrap() }} // {m}\n");
+        let fr = lint_source(KEY, "x.rs", &src);
+        let rules_seen: Vec<&str> = fr.violations.iter().map(|v| v.rule).collect();
+        assert!(rules_seen.contains(&rules::BAD_ALLOW));
+        assert!(rules_seen.contains(&rules::NO_PANIC_SERVING));
+    }
+
+    #[test]
+    fn unknown_rule_in_marker_is_bad_allow() {
+        let m = "sage-lint: allow(no-such-rule) - a perfectly sincere justification";
+        let src = format!("fn f() {{}} // {m}\n");
+        let fr = lint_source(KEY, "x.rs", &src);
+        assert_eq!(fr.violations.len(), 1);
+        assert_eq!(fr.violations[0].rule, rules::BAD_ALLOW);
+        assert!(fr.violations[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn triggers_inside_strings_and_comments_are_invisible() {
+        let src = r##"
+            // x.unwrap() and println!("boom") and HashMap::new()
+            fn f() -> String {
+                let a = "Instant::now() panic! Ordering::Relaxed";
+                let b = r#"use sage_core::pipeline; HashSet"#;
+                format!("{a}{b}")
+            }
+        "##;
+        let fr = lint_source(KEY, "x.rs", src);
+        assert!(fr.violations.is_empty(), "{:?}", fr.violations);
+    }
+
+    #[test]
+    fn crate_key_mapping() {
+        assert_eq!(crate_key_of("crates/core/src/pipeline.rs"), Some("core"));
+        assert_eq!(crate_key_of("crates/lint/src/lexer.rs"), Some("lint"));
+        assert_eq!(crate_key_of("src/lib.rs"), Some("sage"));
+        assert_eq!(crate_key_of("crates/core/benches/x.rs"), None);
+        assert_eq!(crate_key_of("tests/end_to_end.rs"), None);
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_enough() {
+        let fr = lint_source(KEY, "a\"b.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        let report = Report {
+            violations: fr.violations,
+            files_scanned: 1,
+            suppressed: 0,
+        };
+        let j = render_json(&report);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"clean\":false"));
+        assert!(j.contains("a\\\"b.rs"));
+    }
+}

@@ -76,6 +76,7 @@ impl SimLlm {
             .filter(|t| !is_stopword(t))
             .map(|t| stem(t))
             .collect();
+        // sage-lint: allow(deterministic-iteration) - membership probes only (contains); the set is never iterated, so RandomState order cannot reach any output
         let q_stems: HashSet<String> = tokenize(question)
             .iter()
             .filter(|t| !is_stopword(t))
@@ -87,6 +88,7 @@ impl SimLlm {
         for chunk in context {
             for sentence in split_sentences(chunk) {
                 total_sentences += 1;
+                // sage-lint: allow(deterministic-iteration) - intersection is counted (order-free commutative sum of usize), never enumerated into output
                 let stems: HashSet<String> = tokenize(&sentence)
                     .iter()
                     .filter(|t| !is_stopword(t))

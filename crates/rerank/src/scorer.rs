@@ -1,5 +1,7 @@
 //! The cross-feature reranking model.
 
+// sage-lint: allow-file(deterministic-iteration) - term/bigram sets feed commutative overlap counts (order-free sums); ranked output is sorted by score with index tie-break
+
 use crate::RankedChunk;
 use sage_embed::{Embedder, HashedEmbedder};
 use sage_nn::layer::Activation;

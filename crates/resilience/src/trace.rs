@@ -1,5 +1,7 @@
 //! Degradation bookkeeping: per-query traces and system-wide counters.
 
+// sage-lint: allow-file(relaxed-atomics-confined) - monotonic fallback counters in the telemetry style: single value per event, no other memory published under them, totals may be approximate under contention
+
 use crate::error::SageError;
 use crate::fault::Component;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -49,6 +49,7 @@ pub fn segmentation_throughput(
     pairs: &[(String, String)],
     workers: usize,
 ) -> (std::time::Duration, f64) {
+    // sage-lint: allow(no-wallclock) - this helper IS the throughput meter (tokens/sec benchmark); callers opt into wall-clock by calling it
     let start = std::time::Instant::now();
     let _ = score_pairs_parallel(model, pairs, workers);
     let elapsed = start.elapsed();

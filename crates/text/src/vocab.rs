@@ -10,6 +10,7 @@ use std::collections::HashMap;
 /// document-frequency counts.
 #[derive(Debug, Default, Clone)]
 pub struct Vocab {
+    // sage-lint: allow(deterministic-iteration) - id lookup table only; every enumeration goes through the id-ordered `terms` Vec
     by_term: HashMap<String, u32>,
     terms: Vec<String>,
     doc_freq: Vec<u32>,
@@ -94,6 +95,7 @@ impl Vocab {
         if terms.len() != doc_freq.len() {
             return None;
         }
+        // sage-lint: allow(deterministic-iteration) - rebuilt lookup table for the same id-ordered `terms` Vec; never iterated
         let mut by_term = HashMap::with_capacity(terms.len());
         for (id, term) in terms.iter().enumerate() {
             if by_term.insert(term.clone(), id as u32).is_some() {

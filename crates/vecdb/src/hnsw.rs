@@ -174,15 +174,13 @@ impl HnswIndex {
                     frontier.push(Candidate { score: s, id: nb });
                     results.push(Candidate { score: s, id: nb });
                     if results.len() > ef {
-                        // Drop the current worst.
-                        let (widx, _) = results
-                            .iter()
-                            .enumerate()
-                            .min_by(|a, b| {
-                                a.1.score.total_cmp(&b.1.score).then_with(|| b.1.id.cmp(&a.1.id))
-                            })
-                            .expect("results nonempty");
-                        results.swap_remove(widx);
+                        // Drop the current worst. `results` is over-full
+                        // here so min_by always yields a victim.
+                        if let Some((widx, _)) = results.iter().enumerate().min_by(|a, b| {
+                            a.1.score.total_cmp(&b.1.score).then_with(|| b.1.id.cmp(&a.1.id))
+                        }) {
+                            results.swap_remove(widx);
+                        }
                     }
                 }
             }

@@ -36,6 +36,7 @@ impl<I: VectorIndex> SharedIndex<I> {
 
     /// Search (shared lock — concurrent readers run in parallel).
     pub fn search(&self, query: &[f32], n: usize) -> Vec<Hit> {
+        // sage-lint: allow(relaxed-atomics-confined) - monotonic telemetry-style query counter; no other memory is published under it
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.inner.read().search(query, n)
     }
@@ -52,6 +53,7 @@ impl<I: VectorIndex> SharedIndex<I> {
 
     /// Total searches served since construction.
     pub fn query_count(&self) -> u64 {
+        // sage-lint: allow(relaxed-atomics-confined) - reads the monotonic counter above; approximate totals are acceptable by contract
         self.queries.load(Ordering::Relaxed)
     }
 

@@ -100,8 +100,9 @@ CRATES=(
   "sage_eval crates/eval/src/lib.rs sage_text rand serde"
   "sage_llm crates/llm/src/lib.rs sage_text sage_eval sage_corpus sage_telemetry rand"
   "sage_resilience crates/resilience/src/lib.rs"
+  "sage_lint crates/lint/src/lib.rs"
   "sage_core crates/core/src/lib.rs bytes sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_llm sage_eval sage_resilience sage_telemetry rand serde"
-  "sage src/lib.rs sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_resilience sage_telemetry sage_llm sage_eval sage_core"
+  "sage src/lib.rs sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_resilience sage_telemetry sage_llm sage_eval sage_core sage_lint"
 )
 
 for entry in "${CRATES[@]}"; do
@@ -147,7 +148,7 @@ e=$(ext sage rand criterion sage_bench)
 [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: telemetry_overhead bench"; fail=1; }
 
 if [ "$MODE" = test ] || [ "$MODE" = clippy ]; then
-  for t in tests/end_to_end.rs tests/robustness.rs tests/properties.rs; do
+  for t in tests/end_to_end.rs tests/robustness.rs tests/properties.rs tests/static_analysis.rs; do
     tn=$(basename "$t" .rs)
     if [ -n "$FILTER" ] && [ "$tn" != "$FILTER" ]; then continue; fi
     echo "--- integration: $tn"

@@ -24,6 +24,7 @@
 //! | [`eval`] | `sage-eval` | ROUGE/BLEU/METEOR/F1 + Eq.1/Eq.2 cost efficiency |
 //! | [`resilience`] | `sage-resilience` | deterministic fault injection, retries, breakers |
 //! | [`telemetry`] | `sage-telemetry` | spans, stage histograms, cost ledger, exporters |
+//! | [`lint`] | `sage-lint` | workspace static analysis (determinism/panic/layering rules) |
 //! | [`core`] | `sage-core` | the assembled pipeline, baselines, experiment harnesses |
 //!
 //! ## Quickstart
@@ -66,6 +67,7 @@ pub use sage_core as core;
 pub use sage_corpus as corpus;
 pub use sage_embed as embed;
 pub use sage_eval as eval;
+pub use sage_lint as lint;
 pub use sage_llm as llm;
 pub use sage_nn as nn;
 pub use sage_rerank as rerank;

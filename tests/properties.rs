@@ -543,3 +543,79 @@ fn telemetry_traces_are_deterministic_modulo_wallclock() {
     // Sanity: the stripper actually removed timing digits.
     assert_ne!(strip_wallclock(&a), a);
 }
+
+// ---------------------------------------------------------------------------
+// sage-lint lexer: rule-trigger tokens hidden inside comments, strings, and
+// raw strings must be invisible to every rule (zero false positives).
+
+/// Code fragments that would each fire a lint rule if they appeared as real
+/// tokens in a serving-path library crate.
+fn lint_trigger() -> impl Strategy<Value = String> {
+    prop_oneof![
+        1 => Just("x.unwrap()".to_string()),
+        1 => Just("opt.expect(\"present\")".to_string()),
+        1 => Just("panic!(\"boom\")".to_string()),
+        1 => Just("unreachable!()".to_string()),
+        1 => Just("println!(\"debug {v}\")".to_string()),
+        1 => Just("eprintln!(\"oops\")".to_string()),
+        1 => Just("dbg!(value)".to_string()),
+        1 => Just("HashMap::new()".to_string()),
+        1 => Just("let s: HashSet<u32> = HashSet::new();".to_string()),
+        1 => Just("Instant::now()".to_string()),
+        1 => Just("SystemTime::now()".to_string()),
+        1 => Just("Ordering::Relaxed".to_string()),
+        1 => Just("use sage_core::pipeline::RagSystem;".to_string()),
+        1 => Just("use sage_lint::rules;".to_string()),
+    ]
+}
+
+/// Hide a trigger in non-code text: a line comment, a (nested) block
+/// comment, an escaped string literal, or a raw string literal.
+fn hidden_trigger() -> impl Strategy<Value = String> {
+    (lint_trigger(), 0usize..4).prop_map(|(snippet, mode)| match mode {
+        0 => format!("    // note: {snippet}\n"),
+        1 => format!("    /* outer /* {snippet} */ still comment */\n"),
+        2 => {
+            let escaped = snippet.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("    let _s = \"{escaped}\";\n")
+        }
+        _ => format!("    let _r = r#\"{snippet}\"#;\n"),
+    })
+}
+
+proptest! {
+    #[test]
+    fn lint_lexer_ignores_triggers_in_text_content(
+        hidden in proptest::collection::vec(hidden_trigger(), 1..8),
+    ) {
+        let mut src = String::from("//! Module docs mentioning panic! safely.\nfn harmless() {\n");
+        for h in &hidden {
+            src.push_str(h);
+        }
+        src.push_str("    let _done = 1;\n}\n");
+        // "core" is the strictest crate key: library + serving rules all
+        // apply, so any leak from text content would surface here.
+        let fr = sage::lint::lint_source("core", "generated.rs", &src);
+        prop_assert!(
+            fr.violations.is_empty(),
+            "false positives from generated source:\n{}\n{:?}",
+            src,
+            fr.violations
+        );
+        prop_assert_eq!(fr.suppressed, 0);
+    }
+
+    #[test]
+    fn lint_flags_the_same_triggers_as_real_code(trigger in lint_trigger()) {
+        // The converse guard: the exact snippets the lexer must ignore in
+        // text DO fire when they are real tokens (otherwise the test
+        // above would pass vacuously against a lexer that sees nothing).
+        let src = format!("fn live() {{\n    {trigger}\n}}\n");
+        let fr = sage::lint::lint_source("core", "generated.rs", &src);
+        prop_assert!(
+            !fr.violations.is_empty(),
+            "trigger compiled to no violation:\n{}",
+            src
+        );
+    }
+}
