@@ -308,6 +308,93 @@ pub fn eval(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `sage soak` — replay a seeded open-loop arrival process against a
+/// built system through admission control and per-query deadline budgets,
+/// on a virtual clock. The event log (one line per arrival outcome) goes
+/// to stdout so two runs with the same seed can be diffed bit-for-bit;
+/// the summary and any invariant violations go to stderr. Exits nonzero
+/// when an invariant is violated, so CI can gate on it.
+///
+/// Corpus: `--file <path>` with `--question "..."` replays one question
+/// over a user corpus; otherwise a generated QuALITY-analog corpus
+/// (`--docs N`) supplies both documents and questions. Faults compose:
+/// `--faults`/`--fault-seed`/`--resilience`/`--hnsw` work exactly as in
+/// `sage ask`.
+pub fn soak(flags: &Flags) -> Result<(), String> {
+    let (corpus, questions): (Vec<String>, Vec<String>) = match flags.get("file") {
+        Some(path) if !path.is_empty() => {
+            let corpus = load_corpus(path)?;
+            let question = flags
+                .require("question")
+                .map_err(|_| "--file needs --question \"...\" (replayed per arrival)".to_string())?;
+            (corpus, vec![question.to_string()])
+        }
+        _ => {
+            let docs: usize = flags.get_parse("docs", 2usize)?;
+            let seed: u64 = flags.get_parse("seed", 42u64)?;
+            let dataset = quality::generate(SizeConfig {
+                num_docs: docs.max(1),
+                questions_per_doc: 4,
+                seed,
+            });
+            let corpus: Vec<String> = dataset.documents.iter().map(|d| d.text()).collect();
+            let questions: Vec<String> =
+                dataset.tasks.iter().map(|t| t.item.question.clone()).collect();
+            (corpus, questions)
+        }
+    };
+
+    let deadline_ms: u64 = flags.get_parse("deadline-ms", 8_000u64)?;
+    let token_budget: u64 = flags.get_parse("token-budget", 50_000u64)?;
+    let cfg = SoakConfig {
+        seed: flags.get_parse("seed", 42u64)?,
+        duration: std::time::Duration::from_secs_f64(flags.get_parse("duration", 30.0f64)?),
+        qps: flags.get_parse("qps", 4.0f64)?,
+        capacity: flags.get_parse("capacity", 8usize)?,
+        concurrency: flags.get_parse("concurrency", 2usize)?,
+        budget: if flags.has("no-budget") {
+            None
+        } else {
+            Some(QueryBudget::new(std::time::Duration::from_millis(deadline_ms), token_budget))
+        },
+        ..SoakConfig::default()
+    };
+
+    let retriever = parse_retriever(flags.get_or("retriever", "openai"))?;
+    let profile = parse_llm(flags.get_or("llm", "gpt4o-mini"))?;
+    let mut system =
+        RagSystem::build(resolve_models(flags)?, retriever, SageConfig::sage(), profile, &corpus);
+    apply_resilience(flags, &mut system)?;
+    apply_telemetry(flags, &mut system);
+
+    eprintln!(
+        "soak: seed {} | {:.0?} virtual @ {} qps | capacity {} | {} server(s) | {}",
+        cfg.seed,
+        cfg.duration,
+        cfg.qps,
+        cfg.capacity,
+        cfg.concurrency,
+        match cfg.budget {
+            Some(b) => format!("deadline {:.0?}, {} tokens", b.deadline, b.max_tokens),
+            None => "no budget".to_string(),
+        }
+    );
+    let report = run_soak(&system, &questions, &cfg);
+    for line in &report.log {
+        println!("{line}");
+    }
+    eprint!("{}", report.summary());
+    report_telemetry(flags, &system, profile)?;
+
+    let max_shed: f64 = flags.get_parse("max-shed-rate", 0.9f64)?;
+    let violations = report.check_invariants(&cfg, max_shed);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("soak invariants violated: {}", violations.join("; ")))
+    }
+}
+
 /// `sage lint` — run the workspace static analyzer (`sage-lint`) over a
 /// source tree. Exits nonzero when violations survive suppression, so
 /// `scripts/check.sh` and CI can gate on it.
@@ -372,6 +459,10 @@ USAGE:
   sage index   --file <path> --out <index> [--retriever R] [--naive]
   sage query   --index <index> --question \"...\" [--llm L]
   sage train   --out <path>         # save the trained model bundle
+  sage soak    [--seed 42] [--qps 4] [--duration 30] [--capacity 8]
+               [--concurrency 2] [--deadline-ms 8000] [--token-budget 50000]
+               [--no-budget] [--docs N | --file <path> --question \"...\"]
+               [--max-shed-rate 0.9] [--faults <spec>] [--fault-seed <n>]
   sage lint    [--root <path>] [--json]   # workspace static analysis
   sage demo
   sage help
@@ -402,6 +493,19 @@ TELEMETRY (ask, query):
                         counters, histograms, and cost gauges
   Any telemetry flag attaches the recorder; overhead when none is given
   is a single relaxed atomic load per instrumentation site.
+
+SOAK:
+  sage soak replays a seeded open-loop arrival process (exponential
+  gaps, weighted priority classes) against a built system through a
+  bounded admission queue and per-query deadline budgets, entirely on a
+  virtual clock: same seed, same log, bit for bit. The event log goes
+  to stdout (diff two runs to check determinism); the summary — sheds
+  by class, brownout ladder histogram, p50/p99 sojourn — goes to
+  stderr. Queue waits consume each query's deadline, so overload pushes
+  queries down the brownout ladder (drop feedback -> shrink rerank ->
+  skip rerank -> flat top-k) instead of failing them. Exits nonzero if
+  a soak invariant is violated (panics, excess shed, out-of-order
+  brownout, unbounded p99). Fault flags compose with the soak.
 
 LINT:
   sage lint walks src/ and crates/*/src/ under --root (default: the

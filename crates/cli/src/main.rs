@@ -8,6 +8,10 @@
 //! sage eval    --dataset quality|qasper|narrativeqa [--method sage|naive]
 //!              [--docs N] [--questions M] [--llm L]
 //! sage train   --out models.bin
+//! sage soak    [--seed 42] [--qps 4] [--duration 30] [--capacity 8]
+//!              [--concurrency 2] [--deadline-ms 8000] [--token-budget 50000]
+//!              [--no-budget] [--docs N | --file F --question "..."]
+//!              [--faults SPEC] [--fault-seed N] [--max-shed-rate 0.9]
 //! sage lint    [--root PATH] [--json]
 //! sage demo
 //! sage help
@@ -41,6 +45,7 @@ fn main() -> ExitCode {
         "train" => commands::train(&parsed),
         "index" => commands::index(&parsed),
         "query" => commands::query(&parsed),
+        "soak" => commands::soak(&parsed),
         "lint" => commands::lint(&parsed),
         "demo" => commands::demo(),
         "help" | "--help" | "-h" => {

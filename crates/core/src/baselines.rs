@@ -218,6 +218,7 @@ fn answer_with_context(
         feedback_latency: Duration::ZERO,
         feedback_score: None,
         degraded: sage_resilience::DegradeTrace::new(),
+        brownout: sage_admission::BrownoutLevel::None,
     }
 }
 

@@ -1,0 +1,152 @@
+//! Budget → pipeline glue: the per-query brownout controller.
+//!
+//! [`BrownoutCtl`] wraps a [`BudgetMeter`] and owns the two pieces the
+//! meter itself stays agnostic about:
+//!
+//! * **charging discipline** — the pipeline charges the deterministic
+//!   [`CostModel`] values (never the wall clock) at each checkpoint, so a
+//!   query's virtual spend — and therefore its brownout decisions — replay
+//!   bit-for-bit;
+//! * **event emission** — the first time each ladder step is applied the
+//!   controller appends a [`DegradeEvent`] to the query's degradation
+//!   trace (the same trace PR 1's fallback chain writes to, so one report
+//!   explains both fault- and budget-driven degradation) and bumps the
+//!   `sage_brownout_total{stage=...}` telemetry counter. A jump over
+//!   several rungs emits every intermediate step: the ladder is
+//!   cumulative, so all of those mitigations are in effect.
+//!
+//! ## Component attribution
+//!
+//! Brownout events reuse the existing [`Component`] set rather than adding
+//! a `Selection` variant — the resilience layer sizes its per-query guard
+//! and fault-plan arrays by `Component::COUNT`, and budget pressure is not
+//! a component fault. Feedback drops attribute to the `Reader` (the calls
+//! being skipped), rerank steps to the `Reranker`, and flat selection to
+//! `IndexSearch` (the stage whose order the flat prefix preserves).
+
+use sage_admission::{BrownoutLevel, BudgetMeter, CostModel, PlanStage, QueryBudget};
+use sage_resilience::{Component, DegradeEvent, DegradeTrace, Fallback, SageError};
+use std::time::Duration;
+
+/// Per-query brownout state threaded through the pipeline stages.
+pub(crate) struct BrownoutCtl {
+    /// The budget meter (virtual spend + ratcheted level).
+    pub meter: BudgetMeter,
+    /// Candidate-pool size used for rerank planning.
+    pub candidates: usize,
+    /// Feedback rounds the configuration would run at full fidelity.
+    planned_rounds: u32,
+    /// Deepest level already reported as degrade events.
+    reported: BrownoutLevel,
+}
+
+impl BrownoutCtl {
+    pub(crate) fn new(
+        budget: QueryBudget,
+        model: CostModel,
+        candidates: usize,
+        planned_rounds: u32,
+    ) -> Self {
+        Self {
+            meter: BudgetMeter::new(budget, model),
+            candidates,
+            planned_rounds,
+            reported: BrownoutLevel::None,
+        }
+    }
+
+    /// Judge calls still ahead after `executed` feedback rounds.
+    pub(crate) fn rounds_left(&self, executed: usize) -> u32 {
+        self.planned_rounds.saturating_sub(executed as u32)
+    }
+
+    /// Replan at `stage` and report any newly applied ladder steps into
+    /// `trace`. Returns the (possibly ratcheted) level.
+    pub(crate) fn checkpoint(
+        &mut self,
+        stage: PlanStage,
+        rounds_left: u32,
+        trace: &mut DegradeTrace,
+    ) -> BrownoutLevel {
+        let level = self.meter.replan(stage, self.candidates, rounds_left);
+        self.note(trace);
+        level
+    }
+
+    /// Emit one degrade event (and telemetry count) per ladder step newly
+    /// crossed since the last report.
+    fn note(&mut self, trace: &mut DegradeTrace) {
+        let level = self.meter.level();
+        while self.reported < level {
+            let Some(next) = BrownoutLevel::ALL.get(self.reported.idx() + 1).copied() else {
+                break;
+            };
+            let (component, fallback, stage) = match next {
+                BrownoutLevel::DropFeedback => {
+                    (Component::Reader, Fallback::BrownoutDropFeedback, "feedback")
+                }
+                BrownoutLevel::ShrinkRerank => {
+                    (Component::Reranker, Fallback::BrownoutShrinkRerank, "rerank")
+                }
+                BrownoutLevel::SkipRerank => {
+                    (Component::Reranker, Fallback::BrownoutSkipRerank, "rerank")
+                }
+                BrownoutLevel::FlatTopK => {
+                    (Component::IndexSearch, Fallback::BrownoutFlatTopK, "selection")
+                }
+                BrownoutLevel::None => break,
+            };
+            trace.events.push(DegradeEvent {
+                component,
+                fallback,
+                error: SageError::BudgetExhausted { stage },
+                attempts: 0,
+                delay: Duration::ZERO,
+            });
+            sage_telemetry::metrics::BROWNOUT_TOTAL.inc(next.idx().saturating_sub(1));
+            self.reported = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_jump_reports_every_intermediate_step() {
+        // A deadline below one read forces FlatTopK straight from None;
+        // all four ladder steps must land in the trace, in ladder order.
+        let mut ctl = BrownoutCtl::new(
+            QueryBudget::new(Duration::from_millis(100), u64::MAX),
+            CostModel::default(),
+            20,
+            3,
+        );
+        let mut trace = DegradeTrace::new();
+        let level = ctl.checkpoint(PlanStage::Start, 3, &mut trace);
+        assert_eq!(level, BrownoutLevel::FlatTopK);
+        let steps: Vec<u8> =
+            trace.events.iter().filter_map(|e| e.fallback.brownout_step()).collect();
+        assert_eq!(steps, vec![1, 2, 3, 4]);
+        // A later checkpoint at the same level reports nothing new.
+        ctl.checkpoint(PlanStage::Read, 0, &mut trace);
+        assert_eq!(trace.events.len(), 4);
+    }
+
+    #[test]
+    fn generous_budget_reports_nothing() {
+        let mut ctl = BrownoutCtl::new(QueryBudget::generous(), CostModel::default(), 20, 3);
+        let mut trace = DegradeTrace::new();
+        for (stage, rounds) in [
+            (PlanStage::Start, 3),
+            (PlanStage::Rerank, 3),
+            (PlanStage::Select, 3),
+            (PlanStage::Read, 3),
+            (PlanStage::Feedback, 3),
+        ] {
+            assert_eq!(ctl.checkpoint(stage, rounds, &mut trace), BrownoutLevel::None);
+        }
+        assert!(trace.is_clean());
+    }
+}

@@ -24,8 +24,12 @@
 //! * [`resilience`] — the serving-path fault-injection and
 //!   graceful-degradation layer (guarded component boundaries, retries,
 //!   per-query circuit breakers, the documented fallback chain).
+//! * [`soak`] — the deterministic overload harness: a seeded open-loop
+//!   arrival process replayed against a built system through admission
+//!   control and per-query deadline budgets, on a virtual clock.
 
 pub mod baselines;
+mod brownout;
 pub mod case_studies;
 pub mod config;
 pub mod experiment;
@@ -35,8 +39,10 @@ pub mod persist;
 pub mod pipeline;
 pub mod resilience;
 pub mod scalability;
+pub mod soak;
 
 pub use config::{RetrieverKind, SageConfig};
 pub use models::TrainedModels;
 pub use pipeline::{BuildStats, QueryResult, RagSystem};
 pub use resilience::ResilienceConfig;
+pub use soak::{run_soak, SoakReport};

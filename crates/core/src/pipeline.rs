@@ -3,9 +3,14 @@
 
 // sage-lint: allow-file(no-wallclock) - this file IS the latency measurement layer: build/query stage timings feed BuildStats, QueryResult and the telemetry stage histograms; no control flow branches on the readings
 
+use crate::brownout::BrownoutCtl;
 use crate::config::{RetrieverKind, SageConfig};
 use crate::models::TrainedModels;
 use crate::resilience::{QueryGuards, ResilienceConfig, ResilienceState};
+use sage_admission::{
+    AdmissionConfig, AdmissionQueue, BrownoutLevel, CostModel, Decision, PlanStage, Priority,
+    QueryBudget,
+};
 use sage_embed::HashedEmbedder;
 use sage_eval::Cost;
 use sage_llm::{Answer, LlmProfile, SimLlm};
@@ -17,7 +22,7 @@ use sage_segment::{Segmenter, SemanticSegmenter, SentenceSegmenter};
 use sage_telemetry::{BuildRecord, Stage, Telemetry, Trace};
 use sage_vecdb::{FlatIndex, VectorIndex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Offline build statistics (the left half of Tables VIII/IX).
@@ -59,8 +64,12 @@ pub struct QueryResult {
     pub feedback_score: Option<u8>,
     /// Fallbacks fired while serving this question. Empty (`is_clean`)
     /// when the whole pipeline ran on its primary path — always the case
-    /// when resilience is disabled.
+    /// when resilience is disabled. Budget-driven brownout steps land here
+    /// too, one event per ladder rung applied.
     pub degraded: DegradeTrace,
+    /// Deepest brownout ladder level this query ratcheted to.
+    /// [`BrownoutLevel::None`] on every unbudgeted path.
+    pub brownout: BrownoutLevel,
 }
 
 /// The concrete retriever variants a [`RagSystem`] can hold. A closed enum
@@ -197,6 +206,12 @@ pub struct RagSystem {
     /// Runtime-only telemetry hub (never persisted); `None` means no
     /// spans, histograms, or ledger entries are recorded for this system.
     telemetry: Option<Arc<Telemetry>>,
+    /// Runtime-only admission queue (never persisted); `None` means every
+    /// submission is accepted. A `std::sync::Mutex` rather than an atomic
+    /// design: admit decisions must see a consistent (depth, seq) pair to
+    /// stay deterministic, and the critical section is a few arithmetic
+    /// ops.
+    admission: Option<Mutex<AdmissionQueue>>,
 }
 
 impl RagSystem {
@@ -273,6 +288,7 @@ impl RagSystem {
             stats,
             resilience: None,
             telemetry: None,
+            admission: None,
         }
     }
 
@@ -378,6 +394,46 @@ impl RagSystem {
         self.telemetry.as_ref()
     }
 
+    /// Turn on admission control. Batch submissions
+    /// ([`RagSystem::try_answer_batch`]) are routed through the bounded
+    /// queue as [`Priority::Batch`] work from then on; shed slots surface
+    /// as [`SageError::Shed`]. Shed decisions are a pure function of the
+    /// queue state and the configured seed — replaying the same submission
+    /// sequence sheds the same slots.
+    pub fn enable_admission(&mut self, config: AdmissionConfig) {
+        self.admission = Some(Mutex::new(AdmissionQueue::new(config)));
+    }
+
+    /// Turn admission control off (drops the queue and its counters).
+    pub fn disable_admission(&mut self) {
+        self.admission = None;
+    }
+
+    /// Whether admission control is active.
+    pub fn admission_enabled(&self) -> bool {
+        self.admission.is_some()
+    }
+
+    /// Admission report since [`RagSystem::enable_admission`]: admitted
+    /// total plus `(class label, shed count)` pairs (nonzero entries
+    /// only). `None` when disabled.
+    pub fn admission_report(&self) -> Option<(u64, Vec<(&'static str, u64)>)> {
+        self.admission.as_ref().map(|m| {
+            let q = Self::lock_queue(m);
+            (q.admitted_total(), q.shed_snapshot())
+        })
+    }
+
+    /// Lock the admission queue, recovering from a poisoned lock (a
+    /// panicked batch worker must not wedge the serving path — the queue's
+    /// own state is a few integers and stays internally consistent).
+    fn lock_queue(m: &Mutex<AdmissionQueue>) -> std::sync::MutexGuard<'_, AdmissionQueue> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Record a stage observation on the attached hub, if any.
     #[inline]
     fn tel_stage(&self, stage: Stage, d: Duration) {
@@ -396,12 +452,15 @@ impl RagSystem {
 
     /// Answer many open-ended questions with `workers` threads. Results
     /// align with the input order; answers are identical to serial calls
-    /// (the reader is deterministic per question).
+    /// (the reader is deterministic per question). `workers == 0` is
+    /// clamped to 1 (the empty input returns early before the clamp), and
+    /// `workers > questions.len()` to the question count.
     ///
     /// A question whose pipeline panics aborts the whole batch by
     /// re-raising the panic on the caller's thread (the pre-resilience
-    /// contract). Use [`RagSystem::try_answer_batch`] to isolate panics
-    /// per question instead.
+    /// contract) — and when admission control is enabled, a shed question
+    /// is re-raised the same way. Use [`RagSystem::try_answer_batch`] to
+    /// get per-question `Err` slots instead.
     pub fn answer_batch(&self, questions: &[String], workers: usize) -> Vec<QueryResult> {
         self.try_answer_batch(questions, workers)
             .into_iter()
@@ -417,7 +476,15 @@ impl RagSystem {
     /// panic anywhere in one question's pipeline (an injected `panic`
     /// fault, a bug) is caught at this boundary and surfaced as
     /// `Err(SageError::Panicked)` in that question's slot, while every
-    /// other question completes normally. Results align with input order.
+    /// other question completes normally. Results align with input order;
+    /// `workers == 0` is clamped to 1.
+    ///
+    /// With admission control enabled ([`RagSystem::enable_admission`]),
+    /// questions are offered to the queue in input order as
+    /// [`Priority::Batch`] work and processed in waves of at most
+    /// `workers` in-flight slots (released as each wave completes). A shed
+    /// question's slot is `Err(SageError::Shed)`; sheds are deterministic
+    /// for a fixed queue state, seed, and submission order.
     pub fn try_answer_batch(
         &self,
         questions: &[String],
@@ -430,11 +497,71 @@ impl RagSystem {
         let mut results: Vec<Option<Result<QueryResult, SageError>>> =
             (0..questions.len()).map(|_| None).collect();
         let indexed: Vec<(usize, &String)> = questions.iter().enumerate().collect();
+        match &self.admission {
+            None => self.batch_stripe(&indexed, workers, &mut results),
+            Some(m) => {
+                let mut offered = 0usize;
+                while offered < indexed.len() {
+                    // Admit the next wave under one lock hold: up to
+                    // `workers` in-flight slots, so at zero external
+                    // pressure a batch never lifts occupancy into the
+                    // early-drop ramp.
+                    let mut wave: Vec<(usize, &String)> = Vec::new();
+                    {
+                        let mut q = Self::lock_queue(m);
+                        while offered < indexed.len() && wave.len() < workers {
+                            let (i, question) = indexed[offered];
+                            match q.admit(Priority::Batch) {
+                                Decision::Admitted => wave.push((i, question)),
+                                Decision::Shed(_) => {
+                                    sage_telemetry::metrics::SHED_TOTAL
+                                        .inc(Priority::Batch.idx());
+                                    if let Some(state) = &self.resilience {
+                                        state.counters.record(Fallback::Shed);
+                                    }
+                                    results[i] = Some(Err(SageError::Shed {
+                                        class: Priority::Batch.label(),
+                                    }));
+                                }
+                            }
+                            offered += 1;
+                        }
+                    }
+                    self.batch_stripe(&wave, workers, &mut results);
+                    let mut q = Self::lock_queue(m);
+                    for _ in 0..wave.len() {
+                        q.release();
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or(Err(SageError::Panicked {
+                    detail: "answer worker died before reporting".to_string(),
+                }))
+            })
+            .collect()
+    }
+
+    /// Answer `wave` striped across up to `workers` threads, writing each
+    /// question's result into its input slot.
+    fn batch_stripe(
+        &self,
+        wave: &[(usize, &String)],
+        workers: usize,
+        results: &mut [Option<Result<QueryResult, SageError>>],
+    ) {
+        if wave.is_empty() {
+            return;
+        }
+        let workers = workers.clamp(1, wave.len());
         std::thread::scope(|s| {
             let mut handles = Vec::new();
             for w in 0..workers {
                 let mine: Vec<(usize, &String)> =
-                    indexed.iter().skip(w).step_by(workers).copied().collect();
+                    wave.iter().skip(w).step_by(workers).copied().collect();
                 handles.push(s.spawn(move || {
                     mine.into_iter()
                         .map(|(i, q)| (i, self.try_answer_open(q)))
@@ -444,7 +571,8 @@ impl RagSystem {
             for h in handles {
                 // Workers cannot panic (each question is caught inside),
                 // but degrade gracefully if one somehow does: its questions
-                // stay `None` and are filled with a structured error below.
+                // stay `None` and are filled with a structured error by the
+                // caller.
                 if let Ok(batch) = h.join() {
                     for (i, r) in batch {
                         results[i] = Some(r);
@@ -452,14 +580,6 @@ impl RagSystem {
                 }
             }
         });
-        results
-            .into_iter()
-            .map(|r| {
-                r.unwrap_or(Err(SageError::Panicked {
-                    detail: "answer worker died before reporting".to_string(),
-                }))
-            })
-            .collect()
     }
 
     /// Answer one open-ended question with panic isolation: a panic
@@ -520,6 +640,7 @@ impl RagSystem {
             stats,
             resilience: None,
             telemetry: None,
+            admission: None,
         }
     }
 
@@ -548,7 +669,7 @@ impl RagSystem {
     fn retrieve_ranked(&self, question: &str) -> (Vec<usize>, Vec<RankedChunk>) {
         let mut trace = DegradeTrace::new();
         let mut qt = None;
-        self.retrieve_ranked_with(question, None, &mut trace, &mut qt)
+        self.retrieve_ranked_with(question, None, &mut trace, &mut qt, &mut None)
     }
 
     /// First-stage retrieval under the degradation chain. Dense systems
@@ -676,13 +797,16 @@ impl RagSystem {
     }
 
     /// Retrieve + rerank under the degradation chain: an exhausted
-    /// reranker falls back to the first-stage retrieval order.
+    /// reranker falls back to the first-stage retrieval order, and budget
+    /// pressure shrinks the rerank pool (top half) or skips the stage
+    /// entirely.
     fn retrieve_ranked_with(
         &self,
         question: &str,
         guards: Option<&QueryGuards<'_>>,
         trace: &mut DegradeTrace,
         qt: &mut Option<Trace>,
+        bctl: &mut Option<BrownoutCtl>,
     ) -> (Vec<usize>, Vec<RankedChunk>) {
         let retrieve_start = Instant::now();
         let retrieve_sid = span_enter(qt, "retrieve");
@@ -693,6 +817,19 @@ impl RagSystem {
             t.exit(id);
         }
         self.tel_stage(Stage::Retrieve, retrieve_start.elapsed());
+        let rerank_level = match bctl.as_mut() {
+            Some(ctl) => {
+                let model = *ctl.meter.model();
+                ctl.meter.charge_time(model.embed_time + model.search_time);
+                let left = ctl.rounds_left(0);
+                let level = ctl.checkpoint(PlanStage::Rerank, left, trace);
+                // Charge the rerank work at the level just decided; the
+                // plan and the spend use the same model values.
+                ctl.meter.charge_time(model.rerank_cost(level, ctl.candidates));
+                level
+            }
+            None => BrownoutLevel::None,
+        };
         let retrieval_order = |hits: &[ScoredChunk]| {
             hits.iter()
                 .enumerate()
@@ -700,13 +837,23 @@ impl RagSystem {
                 .collect::<Vec<_>>()
         };
         let rerank_start = Instant::now();
-        let rerank_sid = match &self.scorer {
+        let scorer =
+            self.scorer.as_ref().filter(|_| rerank_level < BrownoutLevel::SkipRerank);
+        let rerank_sid = match scorer {
             Some(_) => span_enter(qt, "rerank"),
             None => None,
         };
-        let ranked = match &self.scorer {
+        let ranked = match scorer {
             Some(scorer) => {
-                let texts: Vec<&str> = cand_ids.iter().map(|&i| self.chunks[i].as_str()).collect();
+                // ShrinkRerank scores only the top half of the candidate
+                // pool (the first-stage order is the quality prior).
+                let keep = if rerank_level >= BrownoutLevel::ShrinkRerank {
+                    (cand_ids.len() / 2).max(1).min(cand_ids.len())
+                } else {
+                    cand_ids.len()
+                };
+                let texts: Vec<&str> =
+                    cand_ids[..keep].iter().map(|&i| self.chunks[i].as_str()).collect();
                 match guards {
                     None => scorer.rerank(question, &texts),
                     Some(g) => {
@@ -752,9 +899,13 @@ impl RagSystem {
     }
 
     /// Select the context for the current `min_k` (Algorithm 2 when
-    /// selection is on, fixed top-K otherwise).
-    fn select(&self, ranked: &[RankedChunk], min_k: usize) -> Vec<usize> {
-        if self.config.use_selection {
+    /// selection is on, fixed top-K otherwise). `flat` forces the fixed
+    /// top-K prefix — the deepest brownout rung. `gradient_select` returns
+    /// a prefix of its input ranking, so the flat `min_k` prefix is always
+    /// a subset of what gradient selection would have chosen over the same
+    /// order.
+    fn select(&self, ranked: &[RankedChunk], min_k: usize, flat: bool) -> Vec<usize> {
+        if self.config.use_selection && !flat {
             let cfg = SelectionConfig {
                 min_k,
                 gradient: self.config.gradient,
@@ -834,6 +985,7 @@ impl RagSystem {
             feedback_latency: Duration::ZERO,
             feedback_score: None,
             degraded: DegradeTrace::new(),
+            brownout: BrownoutLevel::None,
         }
     }
 
@@ -845,6 +997,46 @@ impl RagSystem {
     /// Answer a multiple-choice question.
     pub fn answer_multiple_choice(&self, question: &str, options: &[String]) -> QueryResult {
         self.run(question, Some(options))
+    }
+
+    /// Answer an open-ended question under a deadline/token budget. The
+    /// pipeline replans at every stage boundary and walks the brownout
+    /// ladder (drop feedback → shrink rerank → skip rerank → flat top-k)
+    /// as the remaining budget shrinks; each step applied lands in
+    /// [`QueryResult::degraded`] and the query's telemetry trace. Budget
+    /// accounting charges the deterministic [`CostModel`], never the wall
+    /// clock, so the same question with the same budget replays the same
+    /// decisions bit-for-bit.
+    pub fn answer_open_budgeted(&self, question: &str, budget: QueryBudget) -> QueryResult {
+        self.run_budgeted(question, None, Some(budget))
+    }
+
+    /// [`RagSystem::answer_open_budgeted`] with panic isolation, mirroring
+    /// [`RagSystem::try_answer_open`].
+    pub fn try_answer_open_budgeted(
+        &self,
+        question: &str,
+        budget: QueryBudget,
+    ) -> Result<QueryResult, SageError> {
+        catch_unwind(AssertUnwindSafe(|| self.answer_open_budgeted(question, budget))).map_err(
+            |payload| {
+                let err = SageError::from_panic(payload);
+                if let Some(state) = &self.resilience {
+                    state.counters.record(Fallback::PanicIsolated);
+                }
+                err
+            },
+        )
+    }
+
+    /// Answer a multiple-choice question under a deadline/token budget.
+    pub fn answer_multiple_choice_budgeted(
+        &self,
+        question: &str,
+        options: &[String],
+        budget: QueryBudget,
+    ) -> QueryResult {
+        self.run_budgeted(question, Some(options), Some(budget))
     }
 
     /// One guarded generation call. `key` is the determinism handle (the
@@ -946,11 +1138,35 @@ impl RagSystem {
     /// The Figure-2 query loop, with per-query guards when resilience is
     /// enabled.
     fn run(&self, question: &str, options: Option<&[String]>) -> QueryResult {
+        self.run_budgeted(question, options, None)
+    }
+
+    /// [`RagSystem::run`] with an optional per-query budget driving the
+    /// brownout ladder.
+    fn run_budgeted(
+        &self,
+        question: &str,
+        options: Option<&[String]>,
+        budget: Option<QueryBudget>,
+    ) -> QueryResult {
         let guards = self.resilience.as_ref().map(QueryGuards::new);
         let mut trace = DegradeTrace::new();
         let mut qt = self.telemetry.as_ref().map(|_| Trace::start(question));
+        let mut bctl = budget.map(|b| {
+            BrownoutCtl::new(
+                b,
+                CostModel::default(),
+                self.config.candidates,
+                if self.config.use_feedback { self.config.max_feedback_rounds as u32 } else { 0 },
+            )
+        });
+        if let Some(ctl) = bctl.as_mut() {
+            let rounds = ctl.rounds_left(0);
+            ctl.checkpoint(PlanStage::Start, rounds, &mut trace);
+        }
         let query_start = Instant::now();
-        let mut result = self.run_guarded(question, options, guards.as_ref(), &mut trace, &mut qt);
+        let mut result =
+            self.run_guarded(question, options, guards.as_ref(), &mut trace, &mut qt, &mut bctl);
         let total = query_start.elapsed();
         result.degraded = trace;
         if let Some(state) = &self.resilience {
@@ -981,9 +1197,10 @@ impl RagSystem {
         guards: Option<&QueryGuards<'_>>,
         trace: &mut DegradeTrace,
         qt: &mut Option<Trace>,
+        bctl: &mut Option<BrownoutCtl>,
     ) -> QueryResult {
         let retrieval_start = Instant::now();
-        let (cand_ids, ranked) = self.retrieve_ranked_with(question, guards, trace, qt);
+        let (cand_ids, ranked) = self.retrieve_ranked_with(question, guards, trace, qt, bctl);
         let retrieval_latency = retrieval_start.elapsed();
 
         let mut min_k = self.config.min_k;
@@ -999,7 +1216,20 @@ impl RagSystem {
         let mut last_selection: Option<Vec<usize>> = None;
 
         for round in 0..rounds {
-            let selected_positions = self.select(&ranked, min_k);
+            let select_level = match bctl.as_mut() {
+                Some(ctl) => {
+                    let left = ctl.rounds_left(executed_feedback);
+                    let level = ctl.checkpoint(PlanStage::Select, left, trace);
+                    if level < BrownoutLevel::FlatTopK {
+                        let d = ctl.meter.model().select_time;
+                        ctl.meter.charge_time(d);
+                    }
+                    level
+                }
+                None => BrownoutLevel::None,
+            };
+            let selected_positions =
+                self.select(&ranked, min_k, select_level >= BrownoutLevel::FlatTopK);
             // The reader is deterministic: re-running with an identical
             // context reproduces the same answer and judgement, so a round
             // whose adjusted min_k selects the same chunks is pure token
@@ -1013,6 +1243,10 @@ impl RagSystem {
             let context: Vec<String> =
                 selected.iter().map(|&id| self.chunks[id].clone()).collect();
 
+            if let Some(ctl) = bctl.as_mut() {
+                let left = ctl.rounds_left(executed_feedback);
+                ctl.checkpoint(PlanStage::Read, left, trace);
+            }
             let read_start = Instant::now();
             let read_sid = span_enter(qt, "read");
             let generated = match guards {
@@ -1052,18 +1286,40 @@ impl RagSystem {
             total_cost.merge(answer.cost);
             answer_latency += answer.latency;
 
-            if !self.config.use_feedback {
+            // Feedback gate: skipped when the configuration has feedback
+            // off, and browned out when the remaining budget no longer
+            // covers the rest of the loop (judges plus the reads they
+            // trigger).
+            let feedback_level = match bctl.as_mut() {
+                Some(ctl) => {
+                    let model = *ctl.meter.model();
+                    ctl.meter.charge_time(model.read_time);
+                    ctl.meter.charge_tokens(model.read_tokens_at(ctl.meter.level()));
+                    let left = ctl.rounds_left(executed_feedback);
+                    ctl.checkpoint(PlanStage::Feedback, left, trace)
+                }
+                None => BrownoutLevel::None,
+            };
+            if !self.config.use_feedback || feedback_level >= BrownoutLevel::DropFeedback {
+                if best.is_some() {
+                    // Earlier rounds were judged; return the best of them
+                    // below rather than this unjudged answer.
+                    break;
+                }
                 return QueryResult {
                     answer,
                     picked_option: picked,
                     selected,
                     cost: total_cost,
-                    feedback_rounds: 0,
+                    feedback_rounds: executed_feedback,
                     retrieval_latency,
                     answer_latency,
                     feedback_latency,
                     feedback_score: None,
                     degraded: DegradeTrace::new(),
+                    brownout: bctl
+                        .as_ref()
+                        .map_or(BrownoutLevel::None, |c| c.meter.level()),
                 };
             }
 
@@ -1084,6 +1340,11 @@ impl RagSystem {
             executed_feedback += 1;
             total_cost.merge(fb.cost);
             feedback_latency += fb.latency;
+            if let Some(ctl) = bctl.as_mut() {
+                let model = *ctl.meter.model();
+                ctl.meter.charge_time(model.feedback_round_time);
+                ctl.meter.charge_tokens(model.feedback_round_tokens);
+            }
 
             let better = best.as_ref().is_none_or(|(s, ..)| fb.score > *s);
             if better {
@@ -1117,6 +1378,7 @@ impl RagSystem {
             feedback_latency,
             feedback_score: score,
             degraded: DegradeTrace::new(),
+            brownout: bctl.as_ref().map_or(BrownoutLevel::None, |c| c.meter.level()),
         }
     }
 }

@@ -1,0 +1,481 @@
+//! Deterministic overload soak harness.
+//!
+//! Replays a seeded open-loop arrival process ([`sage_admission::soak`])
+//! against a built [`RagSystem`] through a bounded admission queue and
+//! per-query deadline budgets — entirely on a **virtual clock**. Queries
+//! execute sequentially on the caller's thread; "concurrency" is a set of
+//! virtual servers whose busy intervals are computed from each query's
+//! simulated latencies. Two runs with the same configuration therefore
+//! produce bit-identical event logs and reports, which is what the
+//! `sage soak` CLI subcommand and the CI smoke step diff.
+//!
+//! The queue-wait → brownout coupling falls out naturally: a query's
+//! absolute deadline is fixed at arrival, so time spent waiting in the
+//! admission queue shrinks the deadline budget its pipeline run receives,
+//! and deeper queues push queries further down the brownout ladder.
+
+use crate::pipeline::RagSystem;
+use sage_admission::{
+    arrival_plan, AdmissionConfig, AdmissionQueue, Decision, Priority, QueryBudget, ShedReason,
+    SoakConfig,
+};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Virtual service time charged for a query that returned a structured
+/// error instead of a result (isolated panic, shed-free error paths).
+const ERROR_SERVICE: Duration = Duration::from_millis(10);
+
+/// What one soak run did, with enough detail to assert the overload
+/// invariants and to diff two runs for determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoakReport {
+    /// Arrivals planned by the seeded process.
+    pub arrivals: usize,
+    /// Queries the admission queue accepted.
+    pub admitted: usize,
+    /// Queries shed, by priority class (stable [`Priority`] order).
+    pub shed: [u64; Priority::COUNT],
+    /// Admitted queries whose deadline expired while queued (never run).
+    pub expired: usize,
+    /// Queries that completed with a result.
+    pub completed: usize,
+    /// Queries that returned a structured error (not shed, not panic).
+    pub errors: usize,
+    /// Queries that panicked (isolated by the serving path). Always zero
+    /// unless something is broken — the first soak invariant.
+    pub panics: usize,
+    /// Completed queries by final brownout level (ladder order; index 0 is
+    /// full fidelity).
+    pub brownout: [u64; 5],
+    /// Completed queries whose brownout events were out of ladder order.
+    /// Always zero — the ladder only ratchets downward in fidelity.
+    pub ladder_violations: usize,
+    /// Median sojourn (arrival → virtual completion) of completed queries.
+    pub p50_sojourn: Duration,
+    /// 99th-percentile sojourn of completed queries.
+    pub p99_sojourn: Duration,
+    /// Deepest queue depth observed.
+    pub max_depth: usize,
+    /// Deterministic event log, one line per arrival/start/finish.
+    pub log: Vec<String>,
+}
+
+impl SoakReport {
+    /// Total shed across classes.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Shed fraction of all arrivals (0 when nothing arrived).
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        self.shed_total() as f64 / self.arrivals as f64
+    }
+
+    /// Completed queries that browned out at least one rung.
+    pub fn browned_out(&self) -> u64 {
+        self.brownout.iter().skip(1).sum()
+    }
+
+    /// Check the soak invariants; returns one line per violation (empty
+    /// when the run is healthy):
+    ///
+    /// 1. zero panics;
+    /// 2. shed rate within `max_shed_rate`;
+    /// 3. brownout steps applied in ladder order on every query;
+    /// 4. when budgets are on, p99 sojourn bounded by the deadline plus a
+    ///    generous service allowance (a query admitted just before its
+    ///    deadline still runs to completion).
+    pub fn check_invariants(&self, cfg: &SoakConfig, max_shed_rate: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.panics > 0 {
+            violations.push(format!("{} queries panicked", self.panics));
+        }
+        if self.shed_rate() > max_shed_rate {
+            violations.push(format!(
+                "shed rate {:.3} exceeds bound {:.3}",
+                self.shed_rate(),
+                max_shed_rate
+            ));
+        }
+        if self.ladder_violations > 0 {
+            violations
+                .push(format!("{} queries browned out out of order", self.ladder_violations));
+        }
+        if let Some(budget) = cfg.budget {
+            let service_ceiling = Duration::from_secs(30);
+            let bound = budget.deadline + service_ceiling;
+            if self.completed > 0 && self.p99_sojourn > bound {
+                violations.push(format!(
+                    "p99 sojourn {:?} exceeds deadline+ceiling {:?}",
+                    self.p99_sojourn, bound
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Multi-line human summary (the `sage soak` stderr report).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "arrivals {}  admitted {}  shed {} (interactive {} / batch {} / background {})\n",
+            self.arrivals,
+            self.admitted,
+            self.shed_total(),
+            self.shed[0],
+            self.shed[1],
+            self.shed[2]
+        ));
+        out.push_str(&format!(
+            "completed {}  expired {}  errors {}  panics {}\n",
+            self.completed, self.expired, self.errors, self.panics
+        ));
+        out.push_str(&format!(
+            "brownout none {} / drop-feedback {} / shrink-rerank {} / skip-rerank {} / flat-topk {}\n",
+            self.brownout[0], self.brownout[1], self.brownout[2], self.brownout[3],
+            self.brownout[4]
+        ));
+        out.push_str(&format!(
+            "p50 sojourn {}  p99 sojourn {}  max depth {}\n",
+            fmt_t(self.p50_sojourn),
+            fmt_t(self.p99_sojourn),
+            self.max_depth
+        ));
+        out
+    }
+}
+
+/// One admitted query waiting for a virtual server.
+struct Job {
+    /// Index into the arrival plan (also the log's query id).
+    seq: usize,
+    /// Arrival offset.
+    at: Duration,
+    class: Priority,
+    /// Absolute deadline (`at + budget.deadline`); `None` when budgets are
+    /// off.
+    deadline: Option<Duration>,
+}
+
+/// Fixed-width virtual timestamp (micros), so logs diff cleanly.
+fn fmt_t(d: Duration) -> String {
+    format!("{}.{:06}s", d.as_secs(), d.subsec_micros())
+}
+
+/// Replay the soak configured by `cfg` against `sys`, cycling through
+/// `questions` in arrival order. Pure virtual time: the call is CPU-bound
+/// and returns a deterministic [`SoakReport`].
+pub fn run_soak(sys: &RagSystem, questions: &[String], cfg: &SoakConfig) -> SoakReport {
+    let plan = arrival_plan(cfg);
+    let mut report = SoakReport {
+        arrivals: plan.len(),
+        admitted: 0,
+        shed: [0; Priority::COUNT],
+        expired: 0,
+        completed: 0,
+        errors: 0,
+        panics: 0,
+        brownout: [0; 5],
+        ladder_violations: 0,
+        p50_sojourn: Duration::ZERO,
+        p99_sojourn: Duration::ZERO,
+        max_depth: 0,
+        log: Vec::new(),
+    };
+    if questions.is_empty() || plan.is_empty() {
+        return report;
+    }
+
+    let mut queue = AdmissionQueue::new(AdmissionConfig {
+        capacity: cfg.capacity,
+        seed: cfg.seed,
+        ramp_start: cfg.ramp_start,
+    });
+    let mut pending: VecDeque<Job> = VecDeque::new();
+    let mut free_at: Vec<Duration> = vec![Duration::ZERO; cfg.concurrency.max(1)];
+    let mut sojourns: Vec<Duration> = Vec::new();
+
+    let mut state = SimState {
+        sys,
+        questions,
+        base_budget: cfg.budget,
+        queue: &mut queue,
+        pending: &mut pending,
+        free_at: &mut free_at,
+        sojourns: &mut sojourns,
+        report: &mut report,
+    };
+
+    for (seq, arrival) in plan.iter().enumerate() {
+        state.dispatch_until(arrival.at);
+        state.offer(seq, arrival.at, arrival.class);
+    }
+    // Drain: virtual time runs on until every queued job started.
+    state.dispatch_until(Duration::MAX);
+
+    sojourns.sort_unstable();
+    if !sojourns.is_empty() {
+        report.p50_sojourn = sojourns[(sojourns.len() - 1) / 2];
+        report.p99_sojourn = sojourns[(sojourns.len() - 1) * 99 / 100];
+    }
+    report
+}
+
+/// The mutable halves of the simulation, grouped so the dispatch loop can
+/// borrow them together.
+struct SimState<'a> {
+    sys: &'a RagSystem,
+    questions: &'a [String],
+    base_budget: Option<QueryBudget>,
+    queue: &'a mut AdmissionQueue,
+    pending: &'a mut VecDeque<Job>,
+    free_at: &'a mut Vec<Duration>,
+    sojourns: &'a mut Vec<Duration>,
+    report: &'a mut SoakReport,
+}
+
+impl SimState<'_> {
+    /// Offer one arrival to the admission queue.
+    fn offer(&mut self, seq: usize, at: Duration, class: Priority) {
+        match self.queue.admit(class) {
+            Decision::Admitted => {
+                self.report.admitted += 1;
+                self.report.max_depth = self.report.max_depth.max(self.queue.depth());
+                let deadline = self.base_budget.map(|b| at + b.deadline);
+                self.pending.push_back(Job { seq, at, class, deadline });
+                self.report.log.push(format!(
+                    "[{}] admit q={} class={} depth={}",
+                    fmt_t(at),
+                    seq,
+                    class,
+                    self.queue.depth()
+                ));
+            }
+            Decision::Shed(reason) => {
+                self.report.shed[class.idx()] += 1;
+                sage_telemetry::metrics::SHED_TOTAL.inc(class.idx());
+                let label = match reason {
+                    ShedReason::QueueFull => "queue-full",
+                    ShedReason::EarlyDrop => "early-drop",
+                };
+                self.report.log.push(format!(
+                    "[{}] shed q={} class={} reason={} depth={}",
+                    fmt_t(at),
+                    seq,
+                    class,
+                    label,
+                    self.queue.depth()
+                ));
+            }
+        }
+    }
+
+    /// Start every pending job whose virtual start time lands before
+    /// `now`, in FIFO order. A job starts when the earliest-free server is
+    /// available *and* the job has arrived.
+    fn dispatch_until(&mut self, now: Duration) {
+        while let Some(job) = self.pending.front() {
+            // Earliest-free server; ties break to the lowest slot, which
+            // `position_min` below guarantees (first minimum wins).
+            let slot = self
+                .free_at
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| **f)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let start = self.free_at[slot].max(job.at);
+            if start >= now {
+                break;
+            }
+            let Some(job) = self.pending.pop_front() else { break };
+            self.queue.release();
+            self.start(job, start, slot);
+        }
+    }
+
+    /// Run one job at virtual time `start` on server `slot`.
+    fn start(&mut self, job: Job, start: Duration, slot: usize) {
+        let wait = start.saturating_sub(job.at);
+        if let Some(deadline) = job.deadline {
+            if start >= deadline {
+                self.report.expired += 1;
+                self.report.log.push(format!(
+                    "[{}] expire q={} class={} waited={}",
+                    fmt_t(start),
+                    job.seq,
+                    job.class,
+                    fmt_t(wait)
+                ));
+                return;
+            }
+        }
+        let question = &self.questions[job.seq % self.questions.len()];
+        let outcome = match (self.base_budget, job.deadline) {
+            (Some(base), Some(deadline)) => {
+                let remaining = deadline.saturating_sub(start);
+                self.sys
+                    .try_answer_open_budgeted(question, QueryBudget::new(remaining, base.max_tokens))
+            }
+            _ => self.sys.try_answer_open(question),
+        };
+        let service = match &outcome {
+            Ok(r) => r.answer_latency + r.feedback_latency + r.degraded.total_delay(),
+            Err(_) => ERROR_SERVICE,
+        };
+        let finish = start + service;
+        self.free_at[slot] = finish;
+        match outcome {
+            Ok(r) => {
+                self.report.completed += 1;
+                self.report.brownout[r.brownout.idx()] += 1;
+                // Ladder order: the steps recorded on the trace must be
+                // strictly increasing.
+                let steps: Vec<u8> =
+                    r.degraded.events.iter().filter_map(|e| e.fallback.brownout_step()).collect();
+                if !steps.windows(2).all(|w| w[0] < w[1]) {
+                    self.report.ladder_violations += 1;
+                }
+                self.sojourns.push(finish.saturating_sub(job.at));
+                self.report.log.push(format!(
+                    "[{}] done q={} class={} waited={} service={} level={} cost={}",
+                    fmt_t(finish),
+                    job.seq,
+                    job.class,
+                    fmt_t(wait),
+                    fmt_t(service),
+                    r.brownout,
+                    r.cost.input_tokens + r.cost.output_tokens
+                ));
+            }
+            Err(e) => {
+                if matches!(e, sage_resilience::SageError::Panicked { .. }) {
+                    self.report.panics += 1;
+                } else {
+                    self.report.errors += 1;
+                }
+                self.report.log.push(format!(
+                    "[{}] error q={} class={} err={}",
+                    fmt_t(finish),
+                    job.seq,
+                    job.class,
+                    e
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RetrieverKind, SageConfig};
+    use crate::models::{TrainBudget, TrainedModels};
+    use sage_llm::LlmProfile;
+    use std::sync::OnceLock;
+
+    fn models() -> &'static TrainedModels {
+        static M: OnceLock<TrainedModels> = OnceLock::new();
+        M.get_or_init(|| TrainedModels::train(TrainBudget::tiny()))
+    }
+
+    fn system() -> RagSystem {
+        RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &[
+                "Whiskers is a playful tabby cat. He has bright green eyes.\n\
+                 Patchy is a ferret with a stubborn streak. Patchy has bright orange eyes.\n\
+                 Dorinwick was well known in the region. He lives in Ashford."
+                    .to_string(),
+            ],
+        )
+    }
+
+    fn questions() -> Vec<String> {
+        vec![
+            "What is the color of Whiskers's eyes?".to_string(),
+            "Where does Dorinwick live?".to_string(),
+            "What animal is Patchy?".to_string(),
+        ]
+    }
+
+    fn quick_cfg() -> SoakConfig {
+        SoakConfig {
+            seed: 7,
+            duration: Duration::from_secs(20),
+            qps: 2.0,
+            capacity: 4,
+            concurrency: 2,
+            ..SoakConfig::default()
+        }
+    }
+
+    #[test]
+    fn soak_replays_bit_for_bit() {
+        let sys = system();
+        let a = run_soak(&sys, &questions(), &quick_cfg());
+        let b = run_soak(&sys, &questions(), &quick_cfg());
+        assert_eq!(a, b, "same seed must replay identically");
+        assert!(a.completed > 0);
+        assert!(a.check_invariants(&quick_cfg(), 0.9).is_empty(), "{:?}", a.log);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let sys = system();
+        let a = run_soak(&sys, &questions(), &quick_cfg());
+        let b = run_soak(&sys, &questions(), &SoakConfig { seed: 8, ..quick_cfg() });
+        assert_ne!(a.log, b.log);
+    }
+
+    #[test]
+    fn queue_pressure_drives_brownout() {
+        let sys = system();
+        // One server and a tight deadline: queue wait eats the budget.
+        let cfg = SoakConfig {
+            seed: 11,
+            duration: Duration::from_secs(30),
+            qps: 3.0,
+            capacity: 6,
+            concurrency: 1,
+            budget: Some(QueryBudget::new(Duration::from_secs(6), 50_000)),
+            ..SoakConfig::default()
+        };
+        let r = run_soak(&sys, &questions(), &cfg);
+        assert!(r.completed > 0);
+        assert!(
+            r.browned_out() > 0 || r.expired > 0 || r.shed_total() > 0,
+            "overload must leave a trace: {:?}",
+            r.summary()
+        );
+        assert_eq!(r.ladder_violations, 0);
+        assert_eq!(r.panics, 0);
+    }
+
+    #[test]
+    fn no_budget_means_no_brownout() {
+        let sys = system();
+        let cfg = SoakConfig { budget: None, ..quick_cfg() };
+        let r = run_soak(&sys, &questions(), &cfg);
+        assert!(r.completed > 0);
+        assert_eq!(r.browned_out(), 0);
+        assert_eq!(r.expired, 0);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_reports() {
+        let sys = system();
+        let r = run_soak(&sys, &[], &quick_cfg());
+        assert_eq!(r.completed, 0);
+        assert!(r.arrivals > 0, "plan still generated");
+        let r2 = run_soak(&sys, &questions(), &SoakConfig { qps: 0.0, ..quick_cfg() });
+        assert_eq!(r2.arrivals, 0);
+    }
+}

@@ -36,14 +36,14 @@ pub const ALL_RULES: &[&str] = &[
 ];
 
 /// Crates on the query serving path, where a panic is an outage.
-pub const SERVING_CRATES: &[&str] = &["core", "llm", "retrieval", "vecdb", "rerank"];
+pub const SERVING_CRATES: &[&str] = &["core", "llm", "retrieval", "vecdb", "rerank", "admission"];
 
 /// Every workspace member, by key. The layering rule only fires on
 /// `sage_<key>` idents for keys in this list, so local names that merely
 /// start with `sage_` (e.g. a `sage_selected` counter) are not imports.
 pub const WORKSPACE_CRATES: &[&str] = &[
     "text", "nn", "telemetry", "resilience", "lint", "embed", "vecdb", "retrieval",
-    "corpus", "segment", "rerank", "eval", "llm", "core",
+    "corpus", "segment", "rerank", "eval", "llm", "core", "admission",
 ];
 
 /// Crates exempt from library rules entirely: binaries own their stdout
@@ -69,10 +69,12 @@ fn base_allowed(crate_key: &str) -> Option<&'static [&'static str]> {
         // eval may reach for core's pipeline types when scoring end-to-end.
         "eval" => &["text", "core"],
         "llm" => &["text", "eval", "corpus"],
+        // Admission control sits on the resilience substrate only.
+        "admission" => &["resilience"],
         // The orchestrator composes everything below it — never lint.
         "core" => &[
             "text", "nn", "embed", "vecdb", "retrieval", "corpus", "segment", "rerank",
-            "eval", "llm",
+            "eval", "llm", "admission",
         ],
         // Binaries and the facade are exempt.
         "cli" | "bench" | "sage" => return None,

@@ -29,6 +29,18 @@ pub enum SageError {
         /// Human-readable panic context.
         detail: String,
     },
+    /// A deadline or token budget ran out at a pipeline stage; the query
+    /// continued on a browned-out configuration instead of aborting.
+    BudgetExhausted {
+        /// The pipeline stage whose budget check fired.
+        stage: &'static str,
+    },
+    /// The admission queue refused the query under load before it entered
+    /// the pipeline.
+    Shed {
+        /// Priority-class label of the refused query.
+        class: &'static str,
+    },
 }
 
 impl SageError {
@@ -38,7 +50,9 @@ impl SageError {
             SageError::ComponentFailed { component, .. }
             | SageError::CircuitOpen { component }
             | SageError::Corrupted { component } => Some(*component),
-            SageError::Panicked { .. } => None,
+            SageError::Panicked { .. }
+            | SageError::BudgetExhausted { .. }
+            | SageError::Shed { .. } => None,
         }
     }
 
@@ -69,6 +83,12 @@ impl std::fmt::Display for SageError {
                 write!(f, "{component} returned a corrupt response")
             }
             SageError::Panicked { detail } => write!(f, "panicked: {detail}"),
+            SageError::BudgetExhausted { stage } => {
+                write!(f, "budget exhausted at the {stage} stage")
+            }
+            SageError::Shed { class } => {
+                write!(f, "shed by admission control (class {class})")
+            }
         }
     }
 }

@@ -24,17 +24,35 @@ pub enum Fallback {
     /// A panic was isolated at the batch layer; the question yielded a
     /// structured error instead of aborting its batch.
     PanicIsolated,
+    /// Budget brownout: self-feedback rounds were dropped (ladder step 1).
+    BrownoutDropFeedback,
+    /// Budget brownout: the rerank candidate pool was halved (step 2).
+    BrownoutShrinkRerank,
+    /// Budget brownout: reranking was skipped entirely; the first-stage
+    /// retrieval order was kept (step 3).
+    BrownoutSkipRerank,
+    /// Budget brownout: gradient selection was replaced by a flat top-k
+    /// prefix of the retrieval order (step 4, the ladder's floor).
+    BrownoutFlatTopK,
+    /// The admission queue refused the query under load; it never entered
+    /// the pipeline.
+    Shed,
 }
 
 impl Fallback {
     /// All fallback kinds, in chain order (stable counter layout).
-    pub const ALL: [Fallback; 6] = [
+    pub const ALL: [Fallback; 11] = [
         Fallback::HnswToFlat,
         Fallback::DenseToBm25,
         Fallback::RerankToRetrievalOrder,
         Fallback::ReaderSecondBest,
         Fallback::ReaderUnanswerable,
         Fallback::PanicIsolated,
+        Fallback::BrownoutDropFeedback,
+        Fallback::BrownoutShrinkRerank,
+        Fallback::BrownoutSkipRerank,
+        Fallback::BrownoutFlatTopK,
+        Fallback::Shed,
     ];
 
     fn idx(self) -> usize {
@@ -45,6 +63,11 @@ impl Fallback {
             Fallback::ReaderSecondBest => 3,
             Fallback::ReaderUnanswerable => 4,
             Fallback::PanicIsolated => 5,
+            Fallback::BrownoutDropFeedback => 6,
+            Fallback::BrownoutShrinkRerank => 7,
+            Fallback::BrownoutSkipRerank => 8,
+            Fallback::BrownoutFlatTopK => 9,
+            Fallback::Shed => 10,
         }
     }
 
@@ -57,6 +80,23 @@ impl Fallback {
             Fallback::ReaderSecondBest => "reader->second-best",
             Fallback::ReaderUnanswerable => "reader->unanswerable",
             Fallback::PanicIsolated => "panic-isolated",
+            Fallback::BrownoutDropFeedback => "brownout:drop-feedback",
+            Fallback::BrownoutShrinkRerank => "brownout:shrink-rerank",
+            Fallback::BrownoutSkipRerank => "brownout:skip-rerank",
+            Fallback::BrownoutFlatTopK => "brownout:flat-topk",
+            Fallback::Shed => "shed",
+        }
+    }
+
+    /// Position on the brownout ladder (`None` for the non-brownout
+    /// fallbacks). Higher means more degraded.
+    pub fn brownout_step(self) -> Option<u8> {
+        match self {
+            Fallback::BrownoutDropFeedback => Some(1),
+            Fallback::BrownoutShrinkRerank => Some(2),
+            Fallback::BrownoutSkipRerank => Some(3),
+            Fallback::BrownoutFlatTopK => Some(4),
+            _ => None,
         }
     }
 }
@@ -115,7 +155,7 @@ impl DegradeTrace {
 /// Thread-safe system-wide fallback counters (CLI "degraded mode" report).
 #[derive(Debug, Default)]
 pub struct FallbackCounters {
-    counts: [AtomicU64; 6],
+    counts: [AtomicU64; 11],
 }
 
 impl FallbackCounters {

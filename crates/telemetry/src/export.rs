@@ -39,6 +39,15 @@ pub fn prometheus(t: &Telemetry, prices: Option<Prices>) -> String {
         out.push_str(&format!("{} {}\n", c.name(), c.get()));
     }
 
+    // Labelled counter families (brownout ladder steps, admission sheds):
+    // one # TYPE line per family, one sample per label value.
+    for f in metrics::labeled() {
+        push_meta(&mut out, f.name(), "counter", f.help());
+        for (label, value) in f.entries() {
+            out.push_str(&format!("{}{{{}=\"{}\"}} {}\n", f.name(), f.key(), label, value));
+        }
+    }
+
     // Query-level counters.
     push_meta(&mut out, "sage_queries_total", "counter", "Queries answered");
     out.push_str(&format!("sage_queries_total {}\n", t.query_count()));
@@ -249,11 +258,18 @@ pub fn summary(t: &Telemetry, prices: Option<Prices>) -> String {
         out.push('\n');
     }
 
-    let moved: Vec<String> = metrics::all()
+    let mut moved: Vec<String> = metrics::all()
         .iter()
         .filter(|c| c.get() > 0)
         .map(|c| format!("{}={}", c.name(), c.get()))
         .collect();
+    for f in metrics::labeled() {
+        for (label, value) in f.entries() {
+            if value > 0 {
+                moved.push(format!("{}{{{}={}}}={}", f.name(), f.key(), label, value));
+            }
+        }
+    }
     if !moved.is_empty() {
         out.push_str(&format!("counters: {}\n", moved.join(" ")));
     }

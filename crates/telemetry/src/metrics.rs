@@ -118,6 +118,95 @@ pub static LLM_INPUT_TOKENS: Counter =
 pub static LLM_OUTPUT_TOKENS: Counter =
     Counter::new("sage_llm_output_tokens_total", "Completion tokens produced by LLM calls");
 
+/// A monotonic counter family with one fixed label dimension, for metrics
+/// that split by a small closed set of values (brownout ladder steps,
+/// admission priority classes). Kept out of [`all`] — the exporters emit
+/// one `# TYPE` line per family and one labelled sample per entry.
+pub struct LabeledCounter {
+    name: &'static str,
+    help: &'static str,
+    key: &'static str,
+    labels: &'static [&'static str],
+    values: &'static [AtomicU64],
+}
+
+impl LabeledCounter {
+    /// Add `n` to the entry at `idx`, if telemetry is globally enabled.
+    /// Out-of-range indexes are ignored (counters must never panic).
+    #[inline]
+    pub fn add(&self, idx: usize, n: u64) {
+        if crate::enabled() {
+            if let Some(v) = self.values.get(idx) {
+                v.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Increment the entry at `idx` by one, if telemetry is enabled.
+    #[inline]
+    pub fn inc(&self, idx: usize) {
+        self.add(idx, 1);
+    }
+
+    /// Current value of the entry at `idx` (0 when out of range).
+    pub fn get(&self, idx: usize) -> u64 {
+        self.values.get(idx).map_or(0, |v| v.load(Ordering::Relaxed))
+    }
+
+    /// Sum over all entries.
+    pub fn total(&self) -> u64 {
+        self.values.iter().map(|v| v.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Metric family name (Prometheus conventions: `sage_*_total`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line help string.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// The label key (`stage`, `class`, ...).
+    pub fn key(&self) -> &'static str {
+        self.key
+    }
+
+    /// `(label value, count)` pairs in declaration order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.labels.iter().zip(self.values).map(|(l, v)| (*l, v.load(Ordering::Relaxed)))
+    }
+}
+
+static BROWNOUT_VALUES: [AtomicU64; 4] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+/// Brownout-ladder steps applied by budgeted queries, by ladder stage.
+/// Indexed by `BrownoutLevel::idx() - 1` (the `None` level never fires).
+pub static BROWNOUT_TOTAL: LabeledCounter = LabeledCounter {
+    name: "sage_brownout_total",
+    help: "Brownout ladder steps applied to budgeted queries",
+    key: "stage",
+    labels: &["drop-feedback", "shrink-rerank", "skip-rerank", "flat-topk"],
+    values: &BROWNOUT_VALUES,
+};
+
+static SHED_VALUES: [AtomicU64; 3] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+/// Queries refused by admission control, by priority class. Indexed by
+/// `Priority::idx()`.
+pub static SHED_TOTAL: LabeledCounter = LabeledCounter {
+    name: "sage_shed_total",
+    help: "Queries refused by admission control, by priority class",
+    key: "class",
+    labels: &["interactive", "batch", "background"],
+    values: &SHED_VALUES,
+};
+
+/// Every registered labelled counter family, for the exporters.
+pub fn labeled() -> [&'static LabeledCounter; 2] {
+    [&BROWNOUT_TOTAL, &SHED_TOTAL]
+}
+
 /// Every registered counter, for the exporters.
 pub fn all() -> [&'static Counter; 16] {
     [
@@ -167,5 +256,31 @@ mod tests {
             assert!(c.name().ends_with("_total"), "{}", c.name());
             assert!(!c.help().is_empty());
         }
+        for f in labeled() {
+            assert!(seen.insert(f.name()), "duplicate metric name {}", f.name());
+            assert!(f.name().starts_with("sage_"), "{}", f.name());
+            assert!(f.name().ends_with("_total"), "{}", f.name());
+            assert!(!f.help().is_empty());
+            assert!(!f.key().is_empty());
+            let labels: Vec<_> = f.entries().map(|(l, _)| l).collect();
+            let mut uniq = labels.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(labels.len(), uniq.len(), "duplicate label in {}", f.name());
+        }
+    }
+
+    #[test]
+    fn labeled_counters_gate_and_ignore_bad_indexes() {
+        let before = crate::enabled();
+        crate::set_enabled(true);
+        let start = BROWNOUT_TOTAL.get(0);
+        BROWNOUT_TOTAL.inc(0);
+        BROWNOUT_TOTAL.add(0, 2);
+        assert_eq!(BROWNOUT_TOTAL.get(0), start + 3);
+        BROWNOUT_TOTAL.add(999, 5); // out of range: ignored, no panic
+        assert_eq!(BROWNOUT_TOTAL.get(999), 0);
+        assert!(BROWNOUT_TOTAL.total() >= start + 3);
+        crate::set_enabled(before);
     }
 }

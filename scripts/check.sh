@@ -53,6 +53,22 @@ if [ "${1:-}" != fast ]; then
     }
   ' "$tmp/metrics.prom"
   echo "telemetry smoke ok"
+
+  echo "=== soak smoke (deterministic overload replay)"
+  # Two runs with the same seed must produce bit-identical event logs,
+  # complete queries, and shed zero panics (the command itself exits
+  # nonzero on any soak-invariant violation).
+  cargo run -q --release -p sage-cli -- soak \
+    --seed 42 --duration 10 --qps 3 --docs 1 \
+    > "$tmp/soak_a.log" 2> "$tmp/soak_a.err"
+  cargo run -q --release -p sage-cli -- soak \
+    --seed 42 --duration 10 --qps 3 --docs 1 \
+    > "$tmp/soak_b.log" 2> /dev/null
+  diff -q "$tmp/soak_a.log" "$tmp/soak_b.log" \
+    || { echo "FAIL: soak replay is not deterministic"; exit 1; }
+  grep -q ' done ' "$tmp/soak_a.log" || { echo "FAIL: soak completed nothing"; exit 1; }
+  grep -q 'panics 0' "$tmp/soak_a.err" || { echo "FAIL: soak saw panics"; exit 1; }
+  echo "soak smoke ok"
 fi
 
 echo "=== tier-1 gate OK"

@@ -100,9 +100,10 @@ CRATES=(
   "sage_eval crates/eval/src/lib.rs sage_text rand serde"
   "sage_llm crates/llm/src/lib.rs sage_text sage_eval sage_corpus sage_telemetry rand"
   "sage_resilience crates/resilience/src/lib.rs"
+  "sage_admission crates/admission/src/lib.rs sage_resilience"
   "sage_lint crates/lint/src/lib.rs"
-  "sage_core crates/core/src/lib.rs bytes sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_llm sage_eval sage_resilience sage_telemetry rand serde"
-  "sage src/lib.rs sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_resilience sage_telemetry sage_llm sage_eval sage_core sage_lint"
+  "sage_core crates/core/src/lib.rs bytes sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_llm sage_eval sage_resilience sage_admission sage_telemetry rand serde"
+  "sage src/lib.rs sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_resilience sage_admission sage_telemetry sage_llm sage_eval sage_core sage_lint"
 )
 
 for entry in "${CRATES[@]}"; do
@@ -146,6 +147,9 @@ e=$(ext sage rand criterion sage_bench)
 "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name telemetry_overhead crates/bench/benches/telemetry_overhead.rs \
   -o "$OUT/bench_telemetry_overhead" $e 2>&1 | head -60
 [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: telemetry_overhead bench"; fail=1; }
+"$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name admission_overhead crates/bench/benches/admission_overhead.rs \
+  -o "$OUT/bench_admission_overhead" $e 2>&1 | head -60
+[ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: admission_overhead bench"; fail=1; }
 
 if [ "$MODE" = test ] || [ "$MODE" = clippy ]; then
   for t in tests/end_to_end.rs tests/robustness.rs tests/properties.rs tests/static_analysis.rs; do

@@ -23,6 +23,7 @@
 //! | [`llm`] | `sage-llm` | simulated LLM readers, self-feedback judge, cost model |
 //! | [`eval`] | `sage-eval` | ROUGE/BLEU/METEOR/F1 + Eq.1/Eq.2 cost efficiency |
 //! | [`resilience`] | `sage-resilience` | deterministic fault injection, retries, breakers |
+//! | [`admission`] | `sage-admission` | admission control, deadline budgets, brownout ladder |
 //! | [`telemetry`] | `sage-telemetry` | spans, stage histograms, cost ledger, exporters |
 //! | [`lint`] | `sage-lint` | workspace static analysis (determinism/panic/layering rules) |
 //! | [`core`] | `sage-core` | the assembled pipeline, baselines, experiment harnesses |
@@ -63,6 +64,7 @@
 //! this repo builds) and `EXPERIMENTS.md` for paper-vs-measured results of
 //! every table and figure.
 
+pub use sage_admission as admission;
 pub use sage_core as core;
 pub use sage_corpus as corpus;
 pub use sage_embed as embed;
@@ -80,12 +82,17 @@ pub use sage_vecdb as vecdb;
 
 /// The commonly used types in one import.
 pub mod prelude {
+    pub use sage_admission::{
+        AdmissionConfig, AdmissionQueue, BrownoutLevel, CostModel, Priority, QueryBudget,
+        SoakConfig,
+    };
     pub use sage_core::baselines::{DocSystem, Method};
     pub use sage_core::config::{RetrieverKind, SageConfig};
     pub use sage_core::experiment::{evaluate, MethodScores};
     pub use sage_core::models::{TrainBudget, TrainedModels};
     pub use sage_core::pipeline::{BuildStats, QueryResult, RagSystem};
     pub use sage_core::resilience::ResilienceConfig;
+    pub use sage_core::soak::{run_soak, SoakReport};
     pub use sage_corpus::datasets::SizeConfig;
     pub use sage_resilience::{
         BreakerConfig, Component, DegradeTrace, Fallback, FaultKind, FaultPlan, Rates,

@@ -280,6 +280,59 @@ fn telemetry_observes_the_full_serving_path() {
 }
 
 #[test]
+fn brownout_reconciles_trace_counters_and_ledger() {
+    use std::time::Duration;
+    let mut system = RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &telemetry_corpus(),
+    );
+    let hub = system.enable_telemetry();
+
+    // A deadline that affords the read but not the feedback loop: the
+    // planner must drop feedback (and nothing deeper).
+    let before = sage::telemetry::metrics::BROWNOUT_TOTAL.total();
+    let budget = QueryBudget::new(Duration::from_millis(2_500), 1_000_000);
+    let r = system.answer_open_budgeted("What is the color of Whiskers's eyes?", budget);
+    assert!(r.brownout > BrownoutLevel::None, "tight deadline must brown out");
+    assert_eq!(r.feedback_rounds, 0, "dropped feedback still ran rounds");
+
+    // Every rung down to the final level appears as a degrade event, in
+    // ladder order, each tagged with its budget-exhaustion error.
+    let steps: Vec<u8> =
+        r.degraded.events.iter().filter_map(|e| e.fallback.brownout_step()).collect();
+    assert_eq!(
+        steps,
+        (1..=r.brownout.idx() as u8).collect::<Vec<u8>>(),
+        "trace must record each ladder rung exactly once: {:?}",
+        r.degraded.events
+    );
+
+    // The labelled Prometheus counter moved by exactly the steps taken,
+    // and the exporter renders one sample per label.
+    let delta = sage::telemetry::metrics::BROWNOUT_TOTAL.total() - before;
+    assert_eq!(delta as usize, steps.len(), "sage_brownout_total out of sync with trace");
+    let prom = sage::telemetry::export::prometheus(&hub, None);
+    assert!(
+        prom.contains("sage_brownout_total{stage=\"drop-feedback\"}"),
+        "prometheus: {prom}"
+    );
+
+    // The same events are folded into the query trace JSONL with their
+    // brownout fallback labels.
+    let jsonl = hub.traces_jsonl();
+    assert!(jsonl.contains("brownout:drop-feedback"), "trace: {jsonl}");
+
+    // Cost-ledger reconciliation: the hub's ledger attributes exactly the
+    // tokens the budgeted query reported.
+    let total = hub.ledger().total();
+    assert_eq!(total.input_tokens, r.cost.input_tokens);
+    assert_eq!(total.input_tokens + total.output_tokens, r.cost.total_tokens());
+}
+
+#[test]
 fn degrade_events_are_folded_into_query_traces() {
     let mut system = RagSystem::build(
         models(),

@@ -619,3 +619,211 @@ proptest! {
         );
     }
 }
+
+// --- Admission control ----------------------------------------------------
+//
+// The load-shedding decision is a pure function of (seed, sequence number,
+// class, queue state) — no wall clock, no process randomness — so replaying
+// the same operation sequence against two queues must produce the same
+// decisions, and occupancy can never exceed capacity.
+
+use sage::prelude::{AdmissionConfig, AdmissionQueue, BrownoutLevel, Priority, QueryBudget};
+use std::time::Duration;
+
+proptest! {
+    #[test]
+    fn admission_decisions_replay_identically(
+        seed in 0u64..1_000_000,
+        capacity in 1usize..32,
+        ops in proptest::collection::vec((0u8..3, proptest::bool::ANY), 1..200),
+    ) {
+        let run = || {
+            let mut q = AdmissionQueue::new(AdmissionConfig {
+                capacity,
+                seed,
+                ..AdmissionConfig::default()
+            });
+            let mut decisions = Vec::new();
+            for &(class, release) in &ops {
+                let class = Priority::ALL[class as usize % Priority::COUNT];
+                decisions.push(q.admit(class));
+                // Depth is bounded by capacity at all times.
+                assert!(q.depth() <= capacity, "depth {} > capacity {capacity}", q.depth());
+                if release {
+                    q.release();
+                }
+            }
+            (decisions, q.depth(), q.shed_total(), q.admitted_total())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn interactive_never_sheds_below_capacity(
+        seed in 0u64..1_000_000,
+        capacity in 2usize..32,
+        fill in 0usize..32,
+    ) {
+        // Interactive's ramp starts at occupancy 1.0, so the only way to
+        // shed it is a hard-full queue.
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            capacity,
+            seed,
+            ..AdmissionConfig::default()
+        });
+        for _ in 0..fill.min(capacity - 1) {
+            q.admit(Priority::Interactive);
+        }
+        prop_assert_eq!(q.admit(Priority::Interactive), sage::admission::Decision::Admitted);
+    }
+}
+
+// --- Brownout ladder monotonicity -----------------------------------------
+//
+// On a fixed system, shrinking the budget must only push queries *deeper*
+// down the brownout ladder (never shallower) and never make them more
+// expensive. Grid steps are coarse (>= 100 ms / >= 1000 tokens) because the
+// checkpoint charge at a decided level leaves small non-monotone windows
+// (<~10 ms and <~750 model-tokens) right at the planning thresholds.
+
+fn budgeted_system() -> RagSystem {
+    RagSystem::build(
+        shared_models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &resilience_corpus(),
+    )
+}
+
+#[test]
+fn brownout_ladder_monotone_in_deadline() {
+    let system = budgeted_system();
+    for question in ["What is the color of Whiskers's eyes?", "Where does Dorinwick live?"] {
+        // Ascending deadlines, generous token budget: the ladder level
+        // must be non-increasing, the feedback rounds non-decreasing, and
+        // the realized cost non-decreasing (modulo answer-length wiggle).
+        let deadlines_ms = [500u64, 1_500, 2_500, 4_000, 8_000, 20_000, 120_000];
+        let mut prev: Option<(BrownoutLevel, usize, u64)> = None;
+        for ms in deadlines_ms {
+            let budget = QueryBudget::new(Duration::from_millis(ms), 1_000_000);
+            let r = system.answer_open_budgeted(question, budget);
+            let cost = r.cost.input_tokens + r.cost.output_tokens;
+            if let Some((level, rounds, tokens)) = prev {
+                assert!(
+                    r.brownout <= level,
+                    "{question}: ladder got deeper as deadline grew to {ms}ms \
+                     ({level} -> {})",
+                    r.brownout
+                );
+                assert!(
+                    r.feedback_rounds >= rounds,
+                    "{question}: feedback rounds shrank as deadline grew to {ms}ms"
+                );
+                assert!(
+                    cost + 64 >= tokens,
+                    "{question}: cost fell from {tokens} to {cost} as deadline grew to {ms}ms"
+                );
+            }
+            prev = Some((r.brownout, r.feedback_rounds, cost));
+        }
+        // The extremes actually differ: the tightest budget browned out,
+        // the loosest did not.
+        let tight = system
+            .answer_open_budgeted(question, QueryBudget::new(Duration::from_millis(500), 1_000_000));
+        assert!(tight.brownout > BrownoutLevel::None);
+        let loose = system.answer_open_budgeted(question, QueryBudget::generous());
+        assert_eq!(loose.brownout, BrownoutLevel::None);
+        assert_eq!(loose.answer.text, system.answer_open(question).answer.text);
+    }
+}
+
+#[test]
+fn brownout_ladder_monotone_in_token_budget() {
+    let system = budgeted_system();
+    let question = "What is the color of Whiskers's eyes?";
+    let token_grid = [300u64, 1_300, 2_300, 5_300, 1_000_000];
+    let mut prev: Option<BrownoutLevel> = None;
+    for tokens in token_grid {
+        let r = system
+            .answer_open_budgeted(question, QueryBudget::new(Duration::from_secs(120), tokens));
+        if let Some(level) = prev {
+            assert!(
+                r.brownout <= level,
+                "ladder got deeper as tokens grew to {tokens}: {level} -> {}",
+                r.brownout
+            );
+        }
+        prev = Some(r.brownout);
+    }
+}
+
+// --- Crash-safe persistence -----------------------------------------------
+//
+// A saved system file carries a CRC-32 trailer; flipping any single bit in
+// the payload or the stored checksum must surface as a checksum error on
+// load (never a panic, never a silent success).
+
+fn saved_system_file() -> &'static Vec<u8> {
+    static BLOB: OnceLock<Vec<u8>> = OnceLock::new();
+    BLOB.get_or_init(|| {
+        let system = RagSystem::build(
+            shared_models(),
+            RetrieverKind::Bm25,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &resilience_corpus(),
+        );
+        let path = std::env::temp_dir().join("sage_prop_persist.bin");
+        system.save(&path).expect("save");
+        let raw = std::fs::read(&path).expect("read saved file");
+        std::fs::remove_file(&path).ok();
+        raw
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_single_bit_flip_is_caught_by_the_checksum(
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let clean = saved_system_file();
+        // Restrict flips to the payload + stored-CRC region (the last 8
+        // bytes are the trailer magic; flipping those downgrades the file
+        // to the legacy no-trailer path, covered by a unit test below).
+        let region = clean.len() - 8;
+        let pos = ((pos_frac * region as f64) as usize).min(region - 1);
+        let mut torn = clean.clone();
+        torn[pos] ^= 1 << bit;
+        let path = std::env::temp_dir().join(format!("sage_prop_flip_{pos}_{bit}.bin"));
+        std::fs::write(&path, &torn).expect("write");
+        let result = RagSystem::load(&path, LlmProfile::gpt4o_mini());
+        std::fs::remove_file(&path).ok();
+        match result {
+            Ok(_) => prop_assert!(false, "flip at {pos} bit {bit} loaded successfully"),
+            Err(e) => prop_assert!(
+                e.to_string().contains("checksum mismatch"),
+                "flip at {} bit {}: expected checksum error, got: {}", pos, bit, e
+            ),
+        }
+    }
+}
+
+#[test]
+fn clean_saved_file_roundtrips_and_magic_flips_fail_closed() {
+    let clean = saved_system_file();
+    let path = std::env::temp_dir().join("sage_prop_persist_clean.bin");
+    std::fs::write(&path, clean).expect("write");
+    assert!(RagSystem::load(&path, LlmProfile::gpt4o_mini()).is_ok(), "clean file must load");
+    // Corrupt the trailer magic itself: the file falls back to the legacy
+    // (no-trailer) parse, whose 12 trailing junk bytes make it malformed.
+    let mut torn = clean.clone();
+    let magic_pos = clean.len() - 3;
+    torn[magic_pos] ^= 0x20;
+    std::fs::write(&path, &torn).expect("write");
+    assert!(RagSystem::load(&path, LlmProfile::gpt4o_mini()).is_err());
+    std::fs::remove_file(&path).ok();
+}

@@ -369,6 +369,182 @@ fn multi_component_storm_still_serves() {
     assert_eq!(r.answer.text, "unanswerable");
 }
 
+// ---------------------------------------------------------------------------
+// Overload robustness: admission control on the batch path, and the
+// deterministic soak harness (with and without injected faults).
+// ---------------------------------------------------------------------------
+
+fn soak_questions() -> Vec<String> {
+    vec![
+        EYES_Q.into(),
+        "Where does Dorinwick live?".into(),
+        "What animal is Patchy?".into(),
+    ]
+}
+
+#[test]
+fn batch_admission_sheds_deterministically_and_reports() {
+    // Capacity below the wave size: every wave admits `capacity` queries
+    // and hard-sheds the rest, deterministically.
+    let run = || {
+        let mut system = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &fault_corpus(),
+        );
+        system.enable_resilience(ResilienceConfig::default());
+        system.enable_admission(AdmissionConfig { capacity: 2, seed: 9, ..Default::default() });
+        let questions: Vec<String> = soak_questions()
+            .into_iter()
+            .cycle()
+            .take(8)
+            .collect();
+        let results = system.try_answer_batch(&questions, 4);
+        let outcome: Vec<Result<String, String>> = results
+            .iter()
+            .map(|r| match r {
+                Ok(ok) => Ok(ok.answer.text.clone()),
+                Err(e) => Err(e.to_string()),
+            })
+            .collect();
+        let report = system.admission_report().expect("admission on");
+        (outcome, report)
+    };
+    let (outcome_a, report_a) = run();
+    let (outcome_b, report_b) = run();
+    assert_eq!(outcome_a, outcome_b, "admission decisions must replay identically");
+    assert_eq!(report_a, report_b);
+
+    let shed = outcome_a.iter().filter(|r| r.is_err()).count();
+    let served = outcome_a.iter().filter(|r| r.is_ok()).count();
+    assert!(shed > 0, "capacity 2 with waves of 4 must shed: {outcome_a:?}");
+    assert!(served > 0, "admitted queries must still answer");
+    for r in &outcome_a {
+        if let Err(e) = r {
+            assert!(e.contains("shed by admission control"), "unexpected error: {e}");
+        }
+    }
+    let (admitted, by_class) = report_a;
+    assert_eq!(admitted as usize, served);
+    assert_eq!(
+        by_class.iter().map(|(_, n)| *n).sum::<u64>() as usize,
+        shed,
+        "shed counts must reconcile with results: {by_class:?}"
+    );
+    assert!(by_class.iter().all(|(label, _)| *label == "batch"), "{by_class:?}");
+
+    // The resilience counters saw the sheds too.
+    let mut system = RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &fault_corpus(),
+    );
+    system.enable_resilience(ResilienceConfig::default());
+    system.enable_admission(AdmissionConfig { capacity: 2, seed: 9, ..Default::default() });
+    let questions: Vec<String> = soak_questions().into_iter().cycle().take(8).collect();
+    let _ = system.try_answer_batch(&questions, 4);
+    let counters = system.fallback_counters().expect("resilience on");
+    assert!(
+        counters.iter().any(|(label, n)| *label == "shed" && *n as usize == shed),
+        "{counters:?}"
+    );
+}
+
+#[test]
+fn batch_without_admission_is_unchanged() {
+    // The admission queue is opt-in: the default batch path admits
+    // everything and matches serial answers (and zero-pressure batches
+    // through an ample queue behave identically).
+    let questions = soak_questions();
+    let plain = build(&fault_corpus());
+    let serial: Vec<String> =
+        questions.iter().map(|q| plain.answer_open(q).answer.text).collect();
+    let mut gated = build(&fault_corpus());
+    gated.enable_admission(AdmissionConfig::default());
+    let batch: Vec<String> = gated
+        .try_answer_batch(&questions, 2)
+        .into_iter()
+        .map(|r| r.expect("ample capacity must admit everything").answer.text)
+        .collect();
+    assert_eq!(batch, serial);
+    let (admitted, shed) = gated.admission_report().expect("admission on");
+    assert_eq!(admitted as usize, questions.len());
+    assert!(shed.is_empty(), "zero-pressure batch shed something: {shed:?}");
+}
+
+#[test]
+fn soak_under_faults_never_panics_and_replays() {
+    let cfg = SoakConfig {
+        seed: 23,
+        duration: std::time::Duration::from_secs(25),
+        qps: 3.0,
+        capacity: 6,
+        concurrency: 2,
+        ..SoakConfig::default()
+    };
+    let run = || {
+        let plan = FaultPlan::seeded(17)
+            .with(Component::Reader, Rates { transient: 0.3, ..Rates::default() })
+            .with(Component::Reranker, Rates { corrupt: 0.2, ..Rates::default() });
+        let mut system = RagSystem::build(
+            models(),
+            RetrieverKind::OpenAiSim,
+            SageConfig::sage(),
+            LlmProfile::gpt4o_mini(),
+            &fault_corpus(),
+        );
+        system.enable_resilience(ResilienceConfig { plan, ..ResilienceConfig::default() });
+        run_soak(&system, &soak_questions(), &cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "faulted soak must replay bit-for-bit");
+    assert_eq!(a.panics, 0, "log: {:?}", a.log);
+    assert!(a.completed > 0);
+    let violations = a.check_invariants(&cfg, 0.9);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn soak_brownout_mass_is_monotone_across_budgets() {
+    // The harness-level ladder-monotonicity check: the same arrival
+    // process replayed with a tighter per-query deadline must produce at
+    // least as much total brownout (mass = sum of ladder-step indices over
+    // completed queries), never less.
+    let system = build(&fault_corpus());
+    let base = SoakConfig {
+        seed: 31,
+        duration: std::time::Duration::from_secs(25),
+        qps: 1.0,
+        capacity: 8,
+        concurrency: 2,
+        ..SoakConfig::default()
+    };
+    let mass_at = |deadline: std::time::Duration| {
+        // Field assignment instead of struct-update syntax: the latter
+        // ICEs this toolchain on cross-crate associated-const array
+        // lengths captured in a closure.
+        let mut cfg = base;
+        cfg.budget = Some(QueryBudget::new(deadline, 1_000_000));
+        let r = run_soak(&system, &soak_questions(), &cfg);
+        assert_eq!(r.panics, 0);
+        assert!(r.completed > 0, "log: {:?}", r.log);
+        r.brownout.iter().enumerate().map(|(idx, n)| idx as u64 * n).sum::<u64>()
+    };
+    let tight = mass_at(std::time::Duration::from_secs(4));
+    let loose = mass_at(std::time::Duration::from_secs(60));
+    assert!(
+        tight >= loose,
+        "tighter deadlines must brown out at least as much: tight {tight} vs loose {loose}"
+    );
+    assert!(tight > 0, "a 4s deadline cannot afford the full feedback loop");
+    assert_eq!(loose, 0, "a 60s deadline should never brown out at 1 qps");
+}
+
 #[test]
 fn answer_batch_matches_serial() {
     let system = build(&[
