@@ -1,6 +1,7 @@
 //! CLI subcommand implementations.
 
 use crate::args::Flags;
+use sage::core::exec::QueryPlan;
 use sage::corpus::datasets::{narrativeqa, qasper, quality, SizeConfig};
 use sage::prelude::*;
 use std::sync::OnceLock;
@@ -443,6 +444,25 @@ pub fn demo() -> Result<(), String> {
     Ok(())
 }
 
+/// `sage explain` — print the query plan a question would execute:
+/// resolved stages, the per-slot middleware order, and the rewrite each
+/// brownout rung applies. Pure plan resolution — no models are trained
+/// and no index is built.
+pub fn explain(flags: &Flags) -> Result<(), String> {
+    let retriever = parse_retriever(flags.get_or("retriever", "openai"))?;
+    let config = if flags.has("naive") { SageConfig::naive_rag() } else { SageConfig::sage() };
+    if let Some(q) = flags.get("question").filter(|q| !q.is_empty()) {
+        println!("question: {q}");
+    }
+    println!(
+        "config: {} | retriever: {}",
+        if flags.has("naive") { "naive-rag" } else { "sage" },
+        flags.get_or("retriever", "openai"),
+    );
+    print!("{}", QueryPlan::for_kind(&config, retriever).explain());
+    Ok(())
+}
+
 /// Print usage.
 pub fn print_help() {
     println!(
@@ -464,6 +484,9 @@ USAGE:
                [--no-budget] [--docs N | --file <path> --question \"...\"]
                [--max-shed-rate 0.9] [--faults <spec>] [--fault-seed <n>]
   sage lint    [--root <path>] [--json]   # workspace static analysis
+  sage explain [\"question\"] [--retriever R] [--naive]
+               # print the resolved query plan: stages, middleware order,
+               # and the rewrite each brownout rung applies
   sage demo
   sage help
 
@@ -511,8 +534,9 @@ LINT:
   sage lint walks src/ and crates/*/src/ under --root (default: the
   current directory) and enforces the workspace invariants: no-print,
   no-panic-serving, deterministic-iteration, no-wallclock, layering,
-  relaxed-atomics-confined. Suppressions are inline comment markers
-  carrying a justification (see DESIGN.md). --json emits one JSON
+  relaxed-atomics-confined, unwind-boundary. Suppressions are inline
+  comment markers carrying a justification (see DESIGN.md). --json
+  emits one JSON
   object for machine consumers; exit status is nonzero on violations.
 
 Corpus files: paragraphs separated by blank lines."

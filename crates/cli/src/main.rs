@@ -13,6 +13,7 @@
 //!              [--no-budget] [--docs N | --file F --question "..."]
 //!              [--faults SPEC] [--fault-seed N] [--max-shed-rate 0.9]
 //! sage lint    [--root PATH] [--json]
+//! sage explain ["question"] [--retriever R] [--naive]
 //! sage demo
 //! sage help
 //! ```
@@ -31,7 +32,15 @@ fn main() -> ExitCode {
         commands::print_help();
         return ExitCode::FAILURE;
     };
-    let parsed = match args::parse_flags(rest) {
+    // `sage explain "<question>"` reads naturally with the question as a
+    // bare positional; rewrite it into the uniform `--question` form.
+    let mut rest = rest.to_vec();
+    if command == "explain" {
+        if let Some(first) = rest.first().filter(|a| !a.starts_with("--")).cloned() {
+            rest.splice(0..1, ["--question".to_string(), first]);
+        }
+    }
+    let parsed = match args::parse_flags(&rest) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
@@ -40,6 +49,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "segment" => commands::segment(&parsed),
+        "explain" => commands::explain(&parsed),
         "ask" => commands::ask(&parsed),
         "eval" => commands::eval(&parsed),
         "train" => commands::train(&parsed),

@@ -22,7 +22,6 @@ use crate::models::TrainedModels;
 use crate::pipeline::{QueryResult, RagSystem};
 use sage_corpus::Document;
 use sage_embed::{Embedder, HashedEmbedder};
-use sage_eval::Cost;
 use sage_llm::{LlmProfile, SimLlm};
 use sage_segment::Segmenter;
 use sage_text::{count_tokens, is_stopword, split_sentences, stem, tokenize};
@@ -205,21 +204,7 @@ fn answer_with_context(
         }
         None => (None, llm.answer_open(question, &context)),
     };
-    let mut cost = Cost::zero();
-    cost.merge(answer.cost);
-    QueryResult {
-        answer_latency: answer.latency,
-        answer,
-        picked_option: picked,
-        selected: Vec::new(),
-        cost,
-        feedback_rounds: 0,
-        retrieval_latency,
-        feedback_latency: Duration::ZERO,
-        feedback_score: None,
-        degraded: sage_resilience::DegradeTrace::new(),
-        brownout: sage_admission::BrownoutLevel::None,
-    }
+    QueryResult::single_read(answer, picked, Vec::new(), retrieval_latency)
 }
 
 /// Sentence-aligned truncation to roughly `budget` tokens, returned as one

@@ -81,32 +81,43 @@ impl BrownoutCtl {
             let Some(next) = BrownoutLevel::ALL.get(self.reported.idx() + 1).copied() else {
                 break;
             };
-            let (component, fallback, stage) = match next {
-                BrownoutLevel::DropFeedback => {
-                    (Component::Reader, Fallback::BrownoutDropFeedback, "feedback")
-                }
-                BrownoutLevel::ShrinkRerank => {
-                    (Component::Reranker, Fallback::BrownoutShrinkRerank, "rerank")
-                }
-                BrownoutLevel::SkipRerank => {
-                    (Component::Reranker, Fallback::BrownoutSkipRerank, "rerank")
-                }
-                BrownoutLevel::FlatTopK => {
-                    (Component::IndexSearch, Fallback::BrownoutFlatTopK, "selection")
-                }
-                BrownoutLevel::None => break,
-            };
-            trace.events.push(DegradeEvent {
-                component,
-                fallback,
-                error: SageError::BudgetExhausted { stage },
-                attempts: 0,
-                delay: Duration::ZERO,
-            });
-            sage_telemetry::metrics::BROWNOUT_TOTAL.inc(next.idx().saturating_sub(1));
+            record_rung(next, trace);
             self.reported = next;
         }
     }
+}
+
+/// The single recording point for a newly crossed brownout rung: the
+/// degradation-trace entry and the `sage_brownout_total{stage=...}`
+/// counter bump happen here and nowhere else. (The per-query telemetry
+/// span event is derived from the trace entry at finalize time — see
+/// `exec::finalize` — so all three sinks stay reconciled by
+/// construction; `reconciliation` tests guard this.)
+fn record_rung(rung: BrownoutLevel, trace: &mut DegradeTrace) {
+    let (component, fallback, stage) = match rung {
+        BrownoutLevel::DropFeedback => {
+            (Component::Reader, Fallback::BrownoutDropFeedback, "feedback")
+        }
+        BrownoutLevel::ShrinkRerank => {
+            (Component::Reranker, Fallback::BrownoutShrinkRerank, "rerank")
+        }
+        BrownoutLevel::SkipRerank => {
+            (Component::Reranker, Fallback::BrownoutSkipRerank, "rerank")
+        }
+        BrownoutLevel::FlatTopK => {
+            (Component::IndexSearch, Fallback::BrownoutFlatTopK, "selection")
+        }
+        // `None` is not a rung; nothing to record.
+        BrownoutLevel::None => return,
+    };
+    trace.events.push(DegradeEvent {
+        component,
+        fallback,
+        error: SageError::BudgetExhausted { stage },
+        attempts: 0,
+        delay: Duration::ZERO,
+    });
+    sage_telemetry::metrics::BROWNOUT_TOTAL.inc(rung.idx().saturating_sub(1));
 }
 
 #[cfg(test)]

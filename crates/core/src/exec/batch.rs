@@ -1,0 +1,142 @@
+//! Batched execution over the executor: striping across worker threads
+//! and the admission-queue wave protocol. Each question still runs the
+//! single per-query plan via [`crate::RagSystem::try_answer_open`].
+
+use crate::pipeline::RagSystem;
+use crate::QueryResult;
+use sage_admission::{Decision, Priority};
+use sage_resilience::{Fallback, SageError};
+
+impl RagSystem {
+    /// Answer many open-ended questions with `workers` threads. Results
+    /// align with the input order; answers are identical to serial calls
+    /// (the reader is deterministic per question). `workers == 0` is
+    /// clamped to 1 (the empty input returns early before the clamp), and
+    /// `workers > questions.len()` to the question count.
+    ///
+    /// A question whose pipeline panics aborts the whole batch by
+    /// re-raising the panic on the caller's thread (the pre-resilience
+    /// contract) — and when admission control is enabled, a shed question
+    /// is re-raised the same way. Use [`RagSystem::try_answer_batch`] to
+    /// get per-question `Err` slots instead.
+    pub fn answer_batch(&self, questions: &[String], workers: usize) -> Vec<QueryResult> {
+        self.try_answer_batch(questions, workers)
+            .into_iter()
+            .map(|r| match r {
+                Ok(result) => result,
+                // sage-lint: allow(no-panic-serving) - documented pre-resilience contract: this method re-raises per-question failures; try_answer_batch is the isolating alternative
+                Err(e) => panic!("question failed: {e}"),
+            })
+            .collect()
+    }
+
+    /// [`RagSystem::answer_batch`] with per-question panic isolation: a
+    /// panic anywhere in one question's pipeline (an injected `panic`
+    /// fault, a bug) is caught at this boundary and surfaced as
+    /// `Err(SageError::Panicked)` in that question's slot, while every
+    /// other question completes normally. Results align with input order;
+    /// `workers == 0` is clamped to 1.
+    ///
+    /// With admission control enabled ([`RagSystem::enable_admission`]),
+    /// questions are offered to the queue in input order as
+    /// [`Priority::Batch`] work and processed in waves of at most
+    /// `workers` in-flight slots (released as each wave completes). A shed
+    /// question's slot is `Err(SageError::Shed)`; sheds are deterministic
+    /// for a fixed queue state, seed, and submission order.
+    pub fn try_answer_batch(
+        &self,
+        questions: &[String],
+        workers: usize,
+    ) -> Vec<Result<QueryResult, SageError>> {
+        if questions.is_empty() {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, questions.len());
+        let mut results: Vec<Option<Result<QueryResult, SageError>>> =
+            (0..questions.len()).map(|_| None).collect();
+        let indexed: Vec<(usize, &String)> = questions.iter().enumerate().collect();
+        match &self.admission {
+            None => self.batch_stripe(&indexed, workers, &mut results),
+            Some(m) => {
+                let mut offered = 0usize;
+                while offered < indexed.len() {
+                    // Admit the next wave under one lock hold: up to
+                    // `workers` in-flight slots, so at zero external
+                    // pressure a batch never lifts occupancy into the
+                    // early-drop ramp.
+                    let mut wave: Vec<(usize, &String)> = Vec::new();
+                    {
+                        let mut q = Self::lock_queue(m);
+                        while offered < indexed.len() && wave.len() < workers {
+                            let (i, question) = indexed[offered];
+                            match q.admit(Priority::Batch) {
+                                Decision::Admitted => wave.push((i, question)),
+                                Decision::Shed(_) => {
+                                    sage_telemetry::metrics::SHED_TOTAL
+                                        .inc(Priority::Batch.idx());
+                                    if let Some(state) = &self.resilience {
+                                        state.counters.record(Fallback::Shed);
+                                    }
+                                    results[i] = Some(Err(SageError::Shed {
+                                        class: Priority::Batch.label(),
+                                    }));
+                                }
+                            }
+                            offered += 1;
+                        }
+                    }
+                    self.batch_stripe(&wave, workers, &mut results);
+                    let mut q = Self::lock_queue(m);
+                    for _ in 0..wave.len() {
+                        q.release();
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or(Err(SageError::Panicked {
+                    detail: "answer worker died before reporting".to_string(),
+                }))
+            })
+            .collect()
+    }
+
+    /// Answer `wave` striped across up to `workers` threads, writing each
+    /// question's result into its input slot.
+    fn batch_stripe(
+        &self,
+        wave: &[(usize, &String)],
+        workers: usize,
+        results: &mut [Option<Result<QueryResult, SageError>>],
+    ) {
+        if wave.is_empty() {
+            return;
+        }
+        let workers = workers.clamp(1, wave.len());
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let mine: Vec<(usize, &String)> =
+                    wave.iter().skip(w).step_by(workers).copied().collect();
+                handles.push(s.spawn(move || {
+                    mine.into_iter()
+                        .map(|(i, q)| (i, self.try_answer_open(q)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                // Workers cannot panic (each question is caught inside),
+                // but degrade gracefully if one somehow does: its questions
+                // stay `None` and are filled with a structured error by the
+                // caller.
+                if let Ok(batch) = h.join() {
+                    for (i, r) in batch {
+                        results[i] = Some(r);
+                    }
+                }
+            }
+        });
+    }
+}

@@ -32,12 +32,15 @@ pub mod baselines;
 mod brownout;
 pub mod case_studies;
 pub mod config;
+pub mod exec;
 pub mod experiment;
 pub mod models;
 pub mod multihop;
 pub mod persist;
 pub mod pipeline;
 pub mod resilience;
+mod result;
+mod retriever;
 pub mod scalability;
 pub mod soak;
 

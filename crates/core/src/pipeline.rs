@@ -1,217 +1,52 @@
 //! The SAGE pipeline (paper Figure 2): build (segment → embed → index) and
 //! query (retrieve → rerank → gradient-select → generate → self-feedback).
+//!
+//! This module owns system *construction* and the public entry points;
+//! query execution itself lives in [`crate::exec`] — every entry point
+//! here resolves a [`crate::exec::QueryPlan`] and hands it to the one
+//! deterministic executor.
 
-// sage-lint: allow-file(no-wallclock) - this file IS the latency measurement layer: build/query stage timings feed BuildStats, QueryResult and the telemetry stage histograms; no control flow branches on the readings
+// sage-lint: allow-file(no-wallclock) - this file IS the build-time latency measurement layer: segment/index stage timings feed BuildStats and the telemetry build record; no control flow branches on the readings
 
-use crate::brownout::BrownoutCtl;
 use crate::config::{RetrieverKind, SageConfig};
 use crate::models::TrainedModels;
-use crate::resilience::{QueryGuards, ResilienceConfig, ResilienceState};
-use sage_admission::{
-    AdmissionConfig, AdmissionQueue, BrownoutLevel, CostModel, Decision, PlanStage, Priority,
-    QueryBudget,
-};
+use crate::resilience::{ResilienceConfig, ResilienceState};
+pub use crate::result::{BuildStats, QueryResult};
+pub use crate::retriever::AnyRetriever;
+use sage_admission::{AdmissionConfig, AdmissionQueue, QueryBudget};
 use sage_embed::HashedEmbedder;
 use sage_eval::Cost;
-use sage_llm::{Answer, LlmProfile, SimLlm};
-use sage_rerank::{gradient_select, CrossScorer, RankedChunk, SelectionConfig};
-use sage_embed::{DualEncoder, SiameseEncoder};
-use sage_resilience::{Component, DegradeEvent, DegradeTrace, Failure, Fallback, SageError};
-use sage_retrieval::{Bm25Retriever, DenseRetriever, Retriever, ScoredChunk};
+use sage_llm::{LlmProfile, SimLlm};
+use sage_rerank::{CrossScorer, RankedChunk};
+use sage_resilience::SageError;
+use sage_retrieval::{Bm25Retriever, DenseRetriever};
 use sage_segment::{Segmenter, SemanticSegmenter, SentenceSegmenter};
-use sage_telemetry::{BuildRecord, Stage, Telemetry, Trace};
-use sage_vecdb::{FlatIndex, VectorIndex};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use sage_telemetry::{BuildRecord, Stage, Telemetry};
+use sage_vecdb::FlatIndex;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Offline build statistics (the left half of Tables VIII/IX).
-#[derive(Debug, Clone, Copy)]
-pub struct BuildStats {
-    /// Number of chunks produced by segmentation.
-    pub chunk_count: usize,
-    /// Wall-clock time spent segmenting the corpus.
-    pub segmentation_time: Duration,
-    /// Wall-clock time spent building the retrieval index.
-    pub index_time: Duration,
-    /// Corpus size in (estimated) LLM tokens.
-    pub corpus_tokens: usize,
-    /// Approximate resident memory: index structures + chunk text.
-    pub memory_bytes: usize,
-}
-
-/// Everything a single question produced.
-#[derive(Debug, Clone)]
-pub struct QueryResult {
-    /// The final answer (text, confidence, per-call cost of the *final*
-    /// generation call).
-    pub answer: Answer,
-    /// Chosen option index for multiple-choice questions.
-    pub picked_option: Option<usize>,
-    /// Chunk ids (into [`RagSystem::chunks`]) used as the final context.
-    pub selected: Vec<usize>,
-    /// Total token cost across all generation + feedback calls.
-    pub cost: Cost,
-    /// Number of feedback rounds executed (0 when feedback is off).
-    pub feedback_rounds: usize,
-    /// Measured retrieval + rerank wall-clock latency.
-    pub retrieval_latency: Duration,
-    /// Simulated LLM generation latency (summed over rounds).
-    pub answer_latency: Duration,
-    /// Simulated feedback-call latency (summed over rounds).
-    pub feedback_latency: Duration,
-    /// Feedback score of the returned answer, when feedback ran.
-    pub feedback_score: Option<u8>,
-    /// Fallbacks fired while serving this question. Empty (`is_clean`)
-    /// when the whole pipeline ran on its primary path — always the case
-    /// when resilience is disabled. Budget-driven brownout steps land here
-    /// too, one event per ladder rung applied.
-    pub degraded: DegradeTrace,
-    /// Deepest brownout ladder level this query ratcheted to.
-    /// [`BrownoutLevel::None`] on every unbudgeted path.
-    pub brownout: BrownoutLevel,
-}
-
-/// The concrete retriever variants a [`RagSystem`] can hold. A closed enum
-/// (rather than `Box<dyn Retriever>`) so built systems can be persisted —
-/// each variant knows how to serialize itself.
-pub enum AnyRetriever {
-    /// OpenAI-analog hashed encoder + flat index.
-    Hashed(DenseRetriever<sage_embed::HashedEmbedder, FlatIndex>),
-    /// SBERT-analog siamese encoder + flat index.
-    Sbert(DenseRetriever<SiameseEncoder, FlatIndex>),
-    /// DPR-analog dual encoder + flat index.
-    Dpr(DenseRetriever<DualEncoder, FlatIndex>),
-    /// BM25 inverted index.
-    Bm25(Bm25Retriever),
-}
-
-impl AnyRetriever {
-    fn as_dyn(&self) -> &dyn Retriever {
-        match self {
-            AnyRetriever::Hashed(r) => r,
-            AnyRetriever::Sbert(r) => r,
-            AnyRetriever::Dpr(r) => r,
-            AnyRetriever::Bm25(r) => r,
-        }
-    }
-
-    fn index_chunks(&mut self, chunks: &[String]) {
-        match self {
-            AnyRetriever::Hashed(r) => r.index(chunks),
-            AnyRetriever::Sbert(r) => r.index(chunks),
-            AnyRetriever::Dpr(r) => r.index(chunks),
-            AnyRetriever::Bm25(r) => r.index(chunks),
-        }
-    }
-
-    fn retrieve(&self, query: &str, n: usize) -> Vec<ScoredChunk> {
-        self.as_dyn().retrieve(query, n)
-    }
-
-    fn memory_bytes(&self) -> usize {
-        self.as_dyn().memory_bytes()
-    }
-
-    /// Embed a query with the dense embedder (`None` for BM25) — the first
-    /// half of `retrieve`, exposed as its own failure domain.
-    fn embed_query(&self, query: &str) -> Option<Vec<f32>> {
-        match self {
-            AnyRetriever::Hashed(r) => Some(r.embed_query(query)),
-            AnyRetriever::Sbert(r) => Some(r.embed_query(query)),
-            AnyRetriever::Dpr(r) => Some(r.embed_query(query)),
-            AnyRetriever::Bm25(_) => None,
-        }
-    }
-
-    /// Exact flat-index search over an already-embedded query (`None` for
-    /// BM25) — the second half of `retrieve`.
-    fn search_dense(&self, query: &[f32], n: usize) -> Option<Vec<ScoredChunk>> {
-        match self {
-            AnyRetriever::Hashed(r) => Some(r.search_with(query, n)),
-            AnyRetriever::Sbert(r) => Some(r.search_with(query, n)),
-            AnyRetriever::Dpr(r) => Some(r.search_with(query, n)),
-            AnyRetriever::Bm25(_) => None,
-        }
-    }
-
-    /// Whether this is a dense (embedder + vector index) variant.
-    fn is_dense(&self) -> bool {
-        !matches!(self, AnyRetriever::Bm25(_))
-    }
-
-    /// The underlying flat index of dense variants.
-    pub(crate) fn flat_ref(&self) -> Option<&FlatIndex> {
-        match self {
-            AnyRetriever::Hashed(r) => Some(r.index_ref()),
-            AnyRetriever::Sbert(r) => Some(r.index_ref()),
-            AnyRetriever::Dpr(r) => Some(r.index_ref()),
-            AnyRetriever::Bm25(_) => None,
-        }
-    }
-
-    /// Persistence hook: (embedder blob, flat-index ref) for dense
-    /// variants; `None` for BM25 (which rebuilds from the chunk store).
-    pub(crate) fn dense_state(&self) -> Option<(bytes::Bytes, &FlatIndex)> {
-        use sage_nn::BytesSerialize;
-        match self {
-            AnyRetriever::Hashed(r) => Some((r.embedder().to_bytes(), r.index_ref())),
-            AnyRetriever::Sbert(r) => Some((r.embedder().to_bytes(), r.index_ref())),
-            AnyRetriever::Dpr(r) => Some((r.embedder().to_bytes(), r.index_ref())),
-            AnyRetriever::Bm25(_) => None,
-        }
-    }
-}
-
-/// Append one fired fallback to a query's degradation trace.
-fn push_event(
-    trace: &mut DegradeTrace,
-    component: Component,
-    fallback: Fallback,
-    failure: Failure,
-) {
-    trace.events.push(DegradeEvent {
-        component,
-        fallback,
-        error: failure.error,
-        attempts: failure.attempts,
-        delay: failure.delay,
-    });
-}
-
-/// Open a span on the query trace, if one is being recorded.
-fn span_enter(qt: &mut Option<Trace>, name: &'static str) -> Option<usize> {
-    qt.as_mut().map(|t| t.enter(name))
-}
-
-/// Close a span opened by [`span_enter`].
-fn span_exit(qt: &mut Option<Trace>, id: Option<usize>) {
-    if let (Some(t), Some(id)) = (qt.as_mut(), id) {
-        t.exit(id);
-    }
-}
-
 /// A built RAG system over one corpus.
 pub struct RagSystem {
-    config: SageConfig,
+    pub(crate) config: SageConfig,
     kind: RetrieverKind,
-    chunks: Vec<String>,
-    retriever: AnyRetriever,
-    scorer: Option<CrossScorer>,
-    llm: SimLlm,
+    pub(crate) chunks: Vec<String>,
+    pub(crate) retriever: AnyRetriever,
+    pub(crate) scorer: Option<CrossScorer>,
+    pub(crate) llm: SimLlm,
     stats: BuildStats,
     /// Runtime-only serving-path resilience (never persisted); `None`
     /// means guards are off and every query runs the bare primary path.
-    resilience: Option<ResilienceState>,
+    pub(crate) resilience: Option<ResilienceState>,
     /// Runtime-only telemetry hub (never persisted); `None` means no
     /// spans, histograms, or ledger entries are recorded for this system.
-    telemetry: Option<Arc<Telemetry>>,
+    pub(crate) telemetry: Option<Arc<Telemetry>>,
     /// Runtime-only admission queue (never persisted); `None` means every
     /// submission is accepted. A `std::sync::Mutex` rather than an atomic
     /// design: admit decisions must see a consistent (depth, seq) pair to
     /// stay deterministic, and the critical section is a few arithmetic
     /// ops.
-    admission: Option<Mutex<AdmissionQueue>>,
+    pub(crate) admission: Option<Mutex<AdmissionQueue>>,
 }
 
 impl RagSystem {
@@ -396,10 +231,10 @@ impl RagSystem {
 
     /// Turn on admission control. Batch submissions
     /// ([`RagSystem::try_answer_batch`]) are routed through the bounded
-    /// queue as [`Priority::Batch`] work from then on; shed slots surface
-    /// as [`SageError::Shed`]. Shed decisions are a pure function of the
-    /// queue state and the configured seed — replaying the same submission
-    /// sequence sheds the same slots.
+    /// queue as [`sage_admission::Priority::Batch`] work from then on; shed
+    /// slots surface as [`SageError::Shed`]. Shed decisions are a pure
+    /// function of the queue state and the configured seed — replaying the
+    /// same submission sequence sheds the same slots.
     pub fn enable_admission(&mut self, config: AdmissionConfig) {
         self.admission = Some(Mutex::new(AdmissionQueue::new(config)));
     }
@@ -427,7 +262,9 @@ impl RagSystem {
     /// Lock the admission queue, recovering from a poisoned lock (a
     /// panicked batch worker must not wedge the serving path — the queue's
     /// own state is a few integers and stays internally consistent).
-    fn lock_queue(m: &Mutex<AdmissionQueue>) -> std::sync::MutexGuard<'_, AdmissionQueue> {
+    pub(crate) fn lock_queue(
+        m: &Mutex<AdmissionQueue>,
+    ) -> std::sync::MutexGuard<'_, AdmissionQueue> {
         match m.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -436,7 +273,7 @@ impl RagSystem {
 
     /// Record a stage observation on the attached hub, if any.
     #[inline]
-    fn tel_stage(&self, stage: Stage, d: Duration) {
+    pub(crate) fn tel_stage(&self, stage: Stage, d: Duration) {
         if let Some(hub) = &self.telemetry {
             hub.record_stage(stage, d);
         }
@@ -444,154 +281,16 @@ impl RagSystem {
 
     /// Attribute one call's cost to a stage on the attached hub, if any.
     #[inline]
-    fn tel_cost(&self, stage: Stage, cost: &Cost) {
+    pub(crate) fn tel_cost(&self, stage: Stage, cost: &Cost) {
         if let Some(hub) = &self.telemetry {
             hub.record_cost(stage, cost.input_tokens, cost.output_tokens);
         }
     }
 
-    /// Answer many open-ended questions with `workers` threads. Results
-    /// align with the input order; answers are identical to serial calls
-    /// (the reader is deterministic per question). `workers == 0` is
-    /// clamped to 1 (the empty input returns early before the clamp), and
-    /// `workers > questions.len()` to the question count.
-    ///
-    /// A question whose pipeline panics aborts the whole batch by
-    /// re-raising the panic on the caller's thread (the pre-resilience
-    /// contract) — and when admission control is enabled, a shed question
-    /// is re-raised the same way. Use [`RagSystem::try_answer_batch`] to
-    /// get per-question `Err` slots instead.
-    pub fn answer_batch(&self, questions: &[String], workers: usize) -> Vec<QueryResult> {
-        self.try_answer_batch(questions, workers)
-            .into_iter()
-            .map(|r| match r {
-                Ok(result) => result,
-                // sage-lint: allow(no-panic-serving) - documented pre-resilience contract: this method re-raises per-question failures; try_answer_batch is the isolating alternative
-                Err(e) => panic!("question failed: {e}"),
-            })
-            .collect()
-    }
-
-    /// [`RagSystem::answer_batch`] with per-question panic isolation: a
-    /// panic anywhere in one question's pipeline (an injected `panic`
-    /// fault, a bug) is caught at this boundary and surfaced as
-    /// `Err(SageError::Panicked)` in that question's slot, while every
-    /// other question completes normally. Results align with input order;
-    /// `workers == 0` is clamped to 1.
-    ///
-    /// With admission control enabled ([`RagSystem::enable_admission`]),
-    /// questions are offered to the queue in input order as
-    /// [`Priority::Batch`] work and processed in waves of at most
-    /// `workers` in-flight slots (released as each wave completes). A shed
-    /// question's slot is `Err(SageError::Shed)`; sheds are deterministic
-    /// for a fixed queue state, seed, and submission order.
-    pub fn try_answer_batch(
-        &self,
-        questions: &[String],
-        workers: usize,
-    ) -> Vec<Result<QueryResult, SageError>> {
-        if questions.is_empty() {
-            return Vec::new();
-        }
-        let workers = workers.clamp(1, questions.len());
-        let mut results: Vec<Option<Result<QueryResult, SageError>>> =
-            (0..questions.len()).map(|_| None).collect();
-        let indexed: Vec<(usize, &String)> = questions.iter().enumerate().collect();
-        match &self.admission {
-            None => self.batch_stripe(&indexed, workers, &mut results),
-            Some(m) => {
-                let mut offered = 0usize;
-                while offered < indexed.len() {
-                    // Admit the next wave under one lock hold: up to
-                    // `workers` in-flight slots, so at zero external
-                    // pressure a batch never lifts occupancy into the
-                    // early-drop ramp.
-                    let mut wave: Vec<(usize, &String)> = Vec::new();
-                    {
-                        let mut q = Self::lock_queue(m);
-                        while offered < indexed.len() && wave.len() < workers {
-                            let (i, question) = indexed[offered];
-                            match q.admit(Priority::Batch) {
-                                Decision::Admitted => wave.push((i, question)),
-                                Decision::Shed(_) => {
-                                    sage_telemetry::metrics::SHED_TOTAL
-                                        .inc(Priority::Batch.idx());
-                                    if let Some(state) = &self.resilience {
-                                        state.counters.record(Fallback::Shed);
-                                    }
-                                    results[i] = Some(Err(SageError::Shed {
-                                        class: Priority::Batch.label(),
-                                    }));
-                                }
-                            }
-                            offered += 1;
-                        }
-                    }
-                    self.batch_stripe(&wave, workers, &mut results);
-                    let mut q = Self::lock_queue(m);
-                    for _ in 0..wave.len() {
-                        q.release();
-                    }
-                }
-            }
-        }
-        results
-            .into_iter()
-            .map(|r| {
-                r.unwrap_or(Err(SageError::Panicked {
-                    detail: "answer worker died before reporting".to_string(),
-                }))
-            })
-            .collect()
-    }
-
-    /// Answer `wave` striped across up to `workers` threads, writing each
-    /// question's result into its input slot.
-    fn batch_stripe(
-        &self,
-        wave: &[(usize, &String)],
-        workers: usize,
-        results: &mut [Option<Result<QueryResult, SageError>>],
-    ) {
-        if wave.is_empty() {
-            return;
-        }
-        let workers = workers.clamp(1, wave.len());
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let mine: Vec<(usize, &String)> =
-                    wave.iter().skip(w).step_by(workers).copied().collect();
-                handles.push(s.spawn(move || {
-                    mine.into_iter()
-                        .map(|(i, q)| (i, self.try_answer_open(q)))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                // Workers cannot panic (each question is caught inside),
-                // but degrade gracefully if one somehow does: its questions
-                // stay `None` and are filled with a structured error by the
-                // caller.
-                if let Ok(batch) = h.join() {
-                    for (i, r) in batch {
-                        results[i] = Some(r);
-                    }
-                }
-            }
-        });
-    }
-
     /// Answer one open-ended question with panic isolation: a panic
     /// anywhere in the pipeline becomes `Err(SageError::Panicked)`.
     pub fn try_answer_open(&self, question: &str) -> Result<QueryResult, SageError> {
-        catch_unwind(AssertUnwindSafe(|| self.answer_open(question))).map_err(|payload| {
-            let err = SageError::from_panic(payload);
-            if let Some(state) = &self.resilience {
-                state.counters.record(Fallback::PanicIsolated);
-            }
-            err
-        })
+        crate::exec::execute_caught(self, question, None, None)
     }
 
     /// The retriever kind this system was built with.
@@ -664,265 +363,11 @@ impl RagSystem {
         &self.llm
     }
 
-    /// Retrieve + rerank once; returns (candidate chunk ids, ranked list
-    /// over candidate positions). Unguarded primary path.
-    fn retrieve_ranked(&self, question: &str) -> (Vec<usize>, Vec<RankedChunk>) {
-        let mut trace = DegradeTrace::new();
-        let mut qt = None;
-        self.retrieve_ranked_with(question, None, &mut trace, &mut qt, &mut None)
-    }
-
-    /// First-stage retrieval under the degradation chain. Dense systems
-    /// guard the embedder and the vector search separately: an exhausted
-    /// HNSW tier degrades to the exact flat scan, an exhausted embedder or
-    /// flat scan degrades to BM25. BM25-primary systems have no deeper
-    /// tier and run unguarded (the sparse index is the chain's last
-    /// resort by construction — pure CPU inverted-index lookup).
-    fn first_stage(
-        &self,
-        question: &str,
-        guards: Option<&QueryGuards<'_>>,
-        trace: &mut DegradeTrace,
-        qt: &mut Option<Trace>,
-    ) -> Vec<ScoredChunk> {
-        let n = self.config.candidates;
-        let Some(g) = guards.filter(|_| self.retriever.is_dense()) else {
-            if self.telemetry.is_some() && self.retriever.is_dense() {
-                // Unguarded dense path, split so the embedding stage can be
-                // timed separately; identical to `retrieve` (dense.rs tests
-                // pin `retrieve == search_with(embed_query(q))`).
-                let embed_start = Instant::now();
-                let sid = span_enter(qt, "embed");
-                let v = self.retriever.embed_query(question);
-                span_exit(qt, sid);
-                self.tel_stage(Stage::Embed, embed_start.elapsed());
-                return match v.and_then(|v| self.retriever.search_dense(&v, n)) {
-                    Some(hits) => hits,
-                    // A retriever that reports is_dense() but cannot
-                    // embed or search falls back to its own entry point
-                    // instead of aborting the query.
-                    None => self.retriever.retrieve(question, n),
-                };
-            }
-            return self.retriever.retrieve(question, n);
-        };
-
-        let embed_start = Instant::now();
-        let sid = span_enter(qt, "embed");
-        let embedded = g.guard(Component::Embedder).run(
-            Component::Embedder,
-            question,
-            // None embeds as the empty vector, which the validator below
-            // rejects, so the guard degrades DenseToBm25 instead of
-            // panicking inside the guarded closure.
-            || self.retriever.embed_query(question).unwrap_or_default(),
-            |v| {
-                for x in v.iter_mut() {
-                    *x = f32::NAN;
-                }
-            },
-            |v| !v.is_empty() && v.iter().all(|x| x.is_finite()),
-        );
-        span_exit(qt, sid);
-        self.tel_stage(Stage::Embed, embed_start.elapsed());
-        let query_vec = match embedded {
-            Ok(v) => v,
-            Err(failure) => {
-                push_event(trace, Component::Embedder, Fallback::DenseToBm25, failure);
-                return g.state.bm25.retrieve(question, n);
-            }
-        };
-
-        let finite_scores =
-            |hits: &Vec<ScoredChunk>| hits.iter().all(|h: &ScoredChunk| h.score.is_finite());
-        let poison_scores = |hits: &mut Vec<ScoredChunk>| {
-            for h in hits.iter_mut() {
-                h.score = f32::NAN;
-            }
-            if hits.is_empty() {
-                hits.push(ScoredChunk { index: 0, score: f32::NAN });
-            }
-        };
-
-        if let Some(hnsw) = &g.state.hnsw {
-            let approx = g.guard(Component::IndexSearch).run(
-                Component::IndexSearch,
-                question,
-                || {
-                    hnsw.search(&query_vec, n)
-                        .into_iter()
-                        .map(|h| ScoredChunk { index: h.id, score: h.score })
-                        .collect::<Vec<_>>()
-                },
-                poison_scores,
-                finite_scores,
-            );
-            return match approx {
-                Ok(hits) => hits,
-                Err(failure) => {
-                    push_event(trace, Component::IndexSearch, Fallback::HnswToFlat, failure);
-                    // The exact scan is the ANN tier's fallback, not
-                    // another instance of the same failing component —
-                    // it runs unguarded so a fully-failed ANN index
-                    // still serves exact results. If even the exact scan
-                    // is unavailable the chain bottoms out at BM25.
-                    self.retriever
-                        .search_dense(&query_vec, n)
-                        .unwrap_or_else(|| g.state.bm25.retrieve(question, n))
-                }
-            };
-        }
-
-        let exact = g.guard(Component::IndexSearch).run(
-            Component::IndexSearch,
-            question,
-            // None becomes a single NaN-scored sentinel hit, which the
-            // validator rejects, so the guard degrades DenseToBm25
-            // instead of panicking inside the guarded closure.
-            || {
-                self.retriever
-                    .search_dense(&query_vec, n)
-                    .unwrap_or_else(|| vec![ScoredChunk { index: 0, score: f32::NAN }])
-            },
-            poison_scores,
-            finite_scores,
-        );
-        match exact {
-            Ok(hits) => hits,
-            Err(failure) => {
-                push_event(trace, Component::IndexSearch, Fallback::DenseToBm25, failure);
-                g.state.bm25.retrieve(question, n)
-            }
-        }
-    }
-
-    /// Retrieve + rerank under the degradation chain: an exhausted
-    /// reranker falls back to the first-stage retrieval order, and budget
-    /// pressure shrinks the rerank pool (top half) or skips the stage
-    /// entirely.
-    fn retrieve_ranked_with(
-        &self,
-        question: &str,
-        guards: Option<&QueryGuards<'_>>,
-        trace: &mut DegradeTrace,
-        qt: &mut Option<Trace>,
-        bctl: &mut Option<BrownoutCtl>,
-    ) -> (Vec<usize>, Vec<RankedChunk>) {
-        let retrieve_start = Instant::now();
-        let retrieve_sid = span_enter(qt, "retrieve");
-        let hits = self.first_stage(question, guards, trace, qt);
-        let cand_ids: Vec<usize> = hits.iter().map(|h| h.index).collect();
-        if let (Some(t), Some(id)) = (qt.as_mut(), retrieve_sid) {
-            t.field(id, "candidates", cand_ids.len());
-            t.exit(id);
-        }
-        self.tel_stage(Stage::Retrieve, retrieve_start.elapsed());
-        let rerank_level = match bctl.as_mut() {
-            Some(ctl) => {
-                let model = *ctl.meter.model();
-                ctl.meter.charge_time(model.embed_time + model.search_time);
-                let left = ctl.rounds_left(0);
-                let level = ctl.checkpoint(PlanStage::Rerank, left, trace);
-                // Charge the rerank work at the level just decided; the
-                // plan and the spend use the same model values.
-                ctl.meter.charge_time(model.rerank_cost(level, ctl.candidates));
-                level
-            }
-            None => BrownoutLevel::None,
-        };
-        let retrieval_order = |hits: &[ScoredChunk]| {
-            hits.iter()
-                .enumerate()
-                .map(|(pos, h)| RankedChunk { index: pos, score: h.score })
-                .collect::<Vec<_>>()
-        };
-        let rerank_start = Instant::now();
-        let scorer =
-            self.scorer.as_ref().filter(|_| rerank_level < BrownoutLevel::SkipRerank);
-        let rerank_sid = match scorer {
-            Some(_) => span_enter(qt, "rerank"),
-            None => None,
-        };
-        let ranked = match scorer {
-            Some(scorer) => {
-                // ShrinkRerank scores only the top half of the candidate
-                // pool (the first-stage order is the quality prior).
-                let keep = if rerank_level >= BrownoutLevel::ShrinkRerank {
-                    (cand_ids.len() / 2).max(1).min(cand_ids.len())
-                } else {
-                    cand_ids.len()
-                };
-                let texts: Vec<&str> =
-                    cand_ids[..keep].iter().map(|&i| self.chunks[i].as_str()).collect();
-                match guards {
-                    None => scorer.rerank(question, &texts),
-                    Some(g) => {
-                        let reranked = g.guard(Component::Reranker).run(
-                            Component::Reranker,
-                            question,
-                            || scorer.rerank(question, &texts),
-                            |rl| {
-                                for r in rl.iter_mut() {
-                                    r.score = f32::NAN;
-                                }
-                            },
-                            |rl| {
-                                rl.len() == texts.len()
-                                    && rl.iter().all(|r| r.score.is_finite())
-                            },
-                        );
-                        match reranked {
-                            Ok(rl) => rl,
-                            Err(failure) => {
-                                push_event(
-                                    trace,
-                                    Component::Reranker,
-                                    Fallback::RerankToRetrievalOrder,
-                                    failure,
-                                );
-                                retrieval_order(&hits)
-                            }
-                        }
-                    }
-                }
-            }
-            None => retrieval_order(&hits),
-        };
-        if let (Some(t), Some(id)) = (qt.as_mut(), rerank_sid) {
-            t.field(id, "pairs", ranked.len());
-            t.exit(id);
-            self.tel_stage(Stage::Rerank, rerank_start.elapsed());
-        } else if self.scorer.is_some() {
-            self.tel_stage(Stage::Rerank, rerank_start.elapsed());
-        }
-        (cand_ids, ranked)
-    }
-
-    /// Select the context for the current `min_k` (Algorithm 2 when
-    /// selection is on, fixed top-K otherwise). `flat` forces the fixed
-    /// top-K prefix — the deepest brownout rung. `gradient_select` returns
-    /// a prefix of its input ranking, so the flat `min_k` prefix is always
-    /// a subset of what gradient selection would have chosen over the same
-    /// order.
-    fn select(&self, ranked: &[RankedChunk], min_k: usize, flat: bool) -> Vec<usize> {
-        if self.config.use_selection && !flat {
-            let cfg = SelectionConfig {
-                min_k,
-                gradient: self.config.gradient,
-                max_k: self.config.candidates,
-                ..SelectionConfig::default()
-            };
-            gradient_select(ranked, cfg).iter().map(|r| r.index).collect()
-        } else {
-            ranked.iter().take(min_k.max(1)).map(|r| r.index).collect()
-        }
-    }
-
     /// The sorted relevance scores of the question's candidates — the
     /// Figure-5 curve. Uses the reranker when present, otherwise the
     /// retriever's own scores.
     pub fn rerank_scores(&self, question: &str) -> Vec<f32> {
-        let (_, ranked) = self.retrieve_ranked(question);
+        let (_, ranked) = crate::exec::run_prelude(self, question);
         ranked.iter().map(|r| r.score).collect()
     }
 
@@ -931,7 +376,7 @@ impl RagSystem {
     /// selection (e.g. the flexible selector of the paper's future work)
     /// and then answer via [`RagSystem::answer_with_chunks`].
     pub fn candidates(&self, question: &str) -> (Vec<usize>, Vec<RankedChunk>) {
-        self.retrieve_ranked(question)
+        crate::exec::run_prelude(self, question)
     }
 
     /// One generation call over an explicit set of chunk ids (no selection,
@@ -942,73 +387,30 @@ impl RagSystem {
         chunk_ids: &[usize],
         options: Option<&[String]>,
     ) -> QueryResult {
-        let mut qt = self.telemetry.as_ref().map(|_| Trace::start(question));
-        let query_start = Instant::now();
-        // No retrieval runs on this path; the "retrieval" latency is the
-        // (real, measured) context-assembly time rather than a zero
-        // placeholder.
-        let assemble_start = Instant::now();
-        let context: Vec<String> = chunk_ids.iter().map(|&id| self.chunks[id].clone()).collect();
-        let retrieval_latency = assemble_start.elapsed();
-        let read_start = Instant::now();
-        let read_sid = span_enter(&mut qt, "read");
-        let (picked, answer) = match options {
-            Some(opts) => {
-                let (idx, a) = self.llm.answer_multiple_choice(question, opts, &context);
-                (Some(idx), a)
-            }
-            None => (None, self.llm.answer_open(question, &context)),
-        };
-        if let (Some(t), Some(id)) = (qt.as_mut(), read_sid) {
-            t.field(id, "context_chunks", chunk_ids.len());
-            t.field(id, "input_tokens", answer.cost.input_tokens);
-            t.field(id, "output_tokens", answer.cost.output_tokens);
-            t.exit(id);
-        }
-        self.tel_stage(Stage::Read, read_start.elapsed());
-        self.tel_cost(Stage::Read, &answer.cost);
-        if let (Some(hub), Some(t)) = (&self.telemetry, qt) {
-            hub.record_query(query_start.elapsed());
-            hub.push_trace(t);
-        }
-        let mut cost = Cost::zero();
-        cost.merge(answer.cost);
-        QueryResult {
-            answer_latency: answer.latency,
-            answer,
-            picked_option: picked,
-            selected: chunk_ids.to_vec(),
-            cost,
-            feedback_rounds: 0,
-            retrieval_latency,
-            // Honest zero: no feedback round runs on this path.
-            feedback_latency: Duration::ZERO,
-            feedback_score: None,
-            degraded: DegradeTrace::new(),
-            brownout: BrownoutLevel::None,
-        }
+        crate::exec::execute_fixed(self, question, chunk_ids, options)
     }
 
     /// Answer an open-ended question.
     pub fn answer_open(&self, question: &str) -> QueryResult {
-        self.run(question, None)
+        crate::exec::execute(self, question, None, None)
     }
 
     /// Answer a multiple-choice question.
     pub fn answer_multiple_choice(&self, question: &str, options: &[String]) -> QueryResult {
-        self.run(question, Some(options))
+        crate::exec::execute(self, question, Some(options), None)
     }
 
     /// Answer an open-ended question under a deadline/token budget. The
-    /// pipeline replans at every stage boundary and walks the brownout
+    /// executor replans at every stage boundary and walks the brownout
     /// ladder (drop feedback → shrink rerank → skip rerank → flat top-k)
-    /// as the remaining budget shrinks; each step applied lands in
-    /// [`QueryResult::degraded`] and the query's telemetry trace. Budget
-    /// accounting charges the deterministic [`CostModel`], never the wall
-    /// clock, so the same question with the same budget replays the same
+    /// as the remaining budget shrinks — each rung is applied as a rewrite
+    /// of the remaining plan, and lands in [`QueryResult::degraded`] and
+    /// the query's telemetry trace. Budget accounting charges the
+    /// deterministic [`sage_admission::CostModel`], never the wall clock,
+    /// so the same question with the same budget replays the same
     /// decisions bit-for-bit.
     pub fn answer_open_budgeted(&self, question: &str, budget: QueryBudget) -> QueryResult {
-        self.run_budgeted(question, None, Some(budget))
+        crate::exec::execute(self, question, None, Some(budget))
     }
 
     /// [`RagSystem::answer_open_budgeted`] with panic isolation, mirroring
@@ -1018,15 +420,7 @@ impl RagSystem {
         question: &str,
         budget: QueryBudget,
     ) -> Result<QueryResult, SageError> {
-        catch_unwind(AssertUnwindSafe(|| self.answer_open_budgeted(question, budget))).map_err(
-            |payload| {
-                let err = SageError::from_panic(payload);
-                if let Some(state) = &self.resilience {
-                    state.counters.record(Fallback::PanicIsolated);
-                }
-                err
-            },
-        )
+        crate::exec::execute_caught(self, question, None, Some(budget))
     }
 
     /// Answer a multiple-choice question under a deadline/token budget.
@@ -1036,350 +430,7 @@ impl RagSystem {
         options: &[String],
         budget: QueryBudget,
     ) -> QueryResult {
-        self.run_budgeted(question, Some(options), Some(budget))
-    }
-
-    /// One guarded generation call. `key` is the determinism handle (the
-    /// question for the primary context, a derived key for the retry so
-    /// the two calls draw independent fault decisions).
-    fn guarded_generate(
-        &self,
-        question: &str,
-        options: Option<&[String]>,
-        context: &[String],
-        key: &str,
-        g: &QueryGuards<'_>,
-    ) -> Result<(Option<usize>, Answer), Failure> {
-        let guard = g.guard(Component::Reader);
-        match options {
-            Some(opts) => guard.run(
-                Component::Reader,
-                key,
-                || {
-                    let (idx, a) = self.llm.answer_multiple_choice(question, opts, context);
-                    (Some(idx), a)
-                },
-                |(pick, a)| {
-                    a.text.clear();
-                    a.confidence = f32::NAN;
-                    *pick = None;
-                },
-                |(pick, a)| a.is_wellformed() && pick.is_some_and(|i| i < opts.len()),
-            ),
-            None => guard.run(
-                Component::Reader,
-                key,
-                || (None, self.llm.answer_open(question, context)),
-                |(_, a)| {
-                    a.text.clear();
-                    a.confidence = f32::NAN;
-                },
-                |(_, a)| a.is_wellformed(),
-            ),
-        }
-    }
-
-    /// The reader leg of the degradation chain. Returns `None` when both
-    /// the primary and the second-best context are exhausted (the caller
-    /// degrades to an unanswerable answer); otherwise the generation
-    /// result plus the chunk ids actually used.
-    #[allow(clippy::too_many_arguments)]
-    fn read_with_fallback(
-        &self,
-        question: &str,
-        options: Option<&[String]>,
-        selected: Vec<usize>,
-        context: &[String],
-        ranked: &[RankedChunk],
-        cand_ids: &[usize],
-        g: &QueryGuards<'_>,
-        trace: &mut DegradeTrace,
-    ) -> Option<(Option<usize>, Answer, Vec<usize>)> {
-        match self.guarded_generate(question, options, context, question, g) {
-            Ok((pick, a)) => Some((pick, a, selected)),
-            Err(failure) => {
-                push_event(trace, Component::Reader, Fallback::ReaderSecondBest, failure);
-                // Second-best context: the ranked list shifted down by
-                // one — drops the (possibly poisoned) top chunk while
-                // keeping the context size.
-                let alt_ids: Vec<usize> = ranked
-                    .iter()
-                    .skip(1)
-                    .take(selected.len().max(1))
-                    .map(|r| cand_ids[r.index])
-                    .collect();
-                let alt_context: Vec<String> =
-                    alt_ids.iter().map(|&id| self.chunks[id].clone()).collect();
-                let retry_key = format!("{question}\u{1f}second-best");
-                match self.guarded_generate(question, options, &alt_context, &retry_key, g) {
-                    Ok((pick, a)) => Some((pick, a, alt_ids)),
-                    Err(failure) => {
-                        push_event(
-                            trace,
-                            Component::Reader,
-                            Fallback::ReaderUnanswerable,
-                            failure,
-                        );
-                        None
-                    }
-                }
-            }
-        }
-    }
-
-    /// The degraded terminal answer: the reader (or the whole feedback
-    /// loop) produced nothing usable. `latency` is the measured (virtual)
-    /// time spent reaching this verdict — retry backoff accumulated by the
-    /// failed attempts — not a zero placeholder.
-    fn unanswerable(latency: Duration) -> Answer {
-        Answer { text: "unanswerable".to_string(), confidence: 0.0, cost: Cost::zero(), latency }
-    }
-
-    /// The Figure-2 query loop, with per-query guards when resilience is
-    /// enabled.
-    fn run(&self, question: &str, options: Option<&[String]>) -> QueryResult {
-        self.run_budgeted(question, options, None)
-    }
-
-    /// [`RagSystem::run`] with an optional per-query budget driving the
-    /// brownout ladder.
-    fn run_budgeted(
-        &self,
-        question: &str,
-        options: Option<&[String]>,
-        budget: Option<QueryBudget>,
-    ) -> QueryResult {
-        let guards = self.resilience.as_ref().map(QueryGuards::new);
-        let mut trace = DegradeTrace::new();
-        let mut qt = self.telemetry.as_ref().map(|_| Trace::start(question));
-        let mut bctl = budget.map(|b| {
-            BrownoutCtl::new(
-                b,
-                CostModel::default(),
-                self.config.candidates,
-                if self.config.use_feedback { self.config.max_feedback_rounds as u32 } else { 0 },
-            )
-        });
-        if let Some(ctl) = bctl.as_mut() {
-            let rounds = ctl.rounds_left(0);
-            ctl.checkpoint(PlanStage::Start, rounds, &mut trace);
-        }
-        let query_start = Instant::now();
-        let mut result =
-            self.run_guarded(question, options, guards.as_ref(), &mut trace, &mut qt, &mut bctl);
-        let total = query_start.elapsed();
-        result.degraded = trace;
-        if let Some(state) = &self.resilience {
-            state.counters.absorb(&result.degraded);
-        }
-        if let (Some(hub), Some(mut t)) = (&self.telemetry, qt) {
-            // Fold this query's degradation events into the same trace so
-            // one record explains both where time went and what fell back.
-            for e in &result.degraded.events {
-                let id = t.event("degrade");
-                t.field(id, "component", e.component.label());
-                t.field(id, "fallback", e.fallback.label());
-                t.field(id, "error", e.error.to_string());
-                t.field(id, "attempts", u64::from(e.attempts));
-                t.field(id, "virtual_delay_ns", e.delay.as_nanos() as u64);
-            }
-            hub.record_degrades(result.degraded.events.len() as u64);
-            hub.record_query(total);
-            hub.push_trace(t);
-        }
-        result
-    }
-
-    fn run_guarded(
-        &self,
-        question: &str,
-        options: Option<&[String]>,
-        guards: Option<&QueryGuards<'_>>,
-        trace: &mut DegradeTrace,
-        qt: &mut Option<Trace>,
-        bctl: &mut Option<BrownoutCtl>,
-    ) -> QueryResult {
-        let retrieval_start = Instant::now();
-        let (cand_ids, ranked) = self.retrieve_ranked_with(question, guards, trace, qt, bctl);
-        let retrieval_latency = retrieval_start.elapsed();
-
-        let mut min_k = self.config.min_k;
-        let mut total_cost = Cost::zero();
-        let mut answer_latency = Duration::ZERO;
-        let mut feedback_latency = Duration::ZERO;
-        let rounds = if self.config.use_feedback { self.config.max_feedback_rounds } else { 1 };
-
-        // Track the best round by feedback score; without feedback the
-        // single round wins by construction.
-        let mut best: Option<(u8, Answer, Option<usize>, Vec<usize>)> = None;
-        let mut executed_feedback = 0usize;
-        let mut last_selection: Option<Vec<usize>> = None;
-
-        for round in 0..rounds {
-            let select_level = match bctl.as_mut() {
-                Some(ctl) => {
-                    let left = ctl.rounds_left(executed_feedback);
-                    let level = ctl.checkpoint(PlanStage::Select, left, trace);
-                    if level < BrownoutLevel::FlatTopK {
-                        let d = ctl.meter.model().select_time;
-                        ctl.meter.charge_time(d);
-                    }
-                    level
-                }
-                None => BrownoutLevel::None,
-            };
-            let selected_positions =
-                self.select(&ranked, min_k, select_level >= BrownoutLevel::FlatTopK);
-            // The reader is deterministic: re-running with an identical
-            // context reproduces the same answer and judgement, so a round
-            // whose adjusted min_k selects the same chunks is pure token
-            // waste — stop the loop instead.
-            if last_selection.as_deref() == Some(&selected_positions) {
-                break;
-            }
-            last_selection = Some(selected_positions.clone());
-            let selected: Vec<usize> =
-                selected_positions.iter().map(|&pos| cand_ids[pos]).collect();
-            let context: Vec<String> =
-                selected.iter().map(|&id| self.chunks[id].clone()).collect();
-
-            if let Some(ctl) = bctl.as_mut() {
-                let left = ctl.rounds_left(executed_feedback);
-                ctl.checkpoint(PlanStage::Read, left, trace);
-            }
-            let read_start = Instant::now();
-            let read_sid = span_enter(qt, "read");
-            let generated = match guards {
-                None => {
-                    let (picked, answer) = match options {
-                        Some(opts) => {
-                            let (idx, a) =
-                                self.llm.answer_multiple_choice(question, opts, &context);
-                            (Some(idx), a)
-                        }
-                        None => (None, self.llm.answer_open(question, &context)),
-                    };
-                    Some((picked, answer, selected))
-                }
-                Some(g) => self.read_with_fallback(
-                    question, options, selected, &context, &ranked, &cand_ids, g, trace,
-                ),
-            };
-            if let (Some(t), Some(id)) = (qt.as_mut(), read_sid) {
-                t.field(id, "round", round);
-                if let Some((_, a, sel)) = &generated {
-                    t.field(id, "context_chunks", sel.len());
-                    t.field(id, "input_tokens", a.cost.input_tokens);
-                    t.field(id, "output_tokens", a.cost.output_tokens);
-                }
-                t.exit(id);
-            }
-            self.tel_stage(Stage::Read, read_start.elapsed());
-            let Some((picked, answer, selected)) = generated else {
-                // Reader exhausted both contexts. Fault decisions are
-                // keyed on the question, so further rounds would fail
-                // identically — stop here and fall back to an earlier
-                // round's answer (or the degraded unanswerable below).
-                break;
-            };
-            self.tel_cost(Stage::Read, &answer.cost);
-            total_cost.merge(answer.cost);
-            answer_latency += answer.latency;
-
-            // Feedback gate: skipped when the configuration has feedback
-            // off, and browned out when the remaining budget no longer
-            // covers the rest of the loop (judges plus the reads they
-            // trigger).
-            let feedback_level = match bctl.as_mut() {
-                Some(ctl) => {
-                    let model = *ctl.meter.model();
-                    ctl.meter.charge_time(model.read_time);
-                    ctl.meter.charge_tokens(model.read_tokens_at(ctl.meter.level()));
-                    let left = ctl.rounds_left(executed_feedback);
-                    ctl.checkpoint(PlanStage::Feedback, left, trace)
-                }
-                None => BrownoutLevel::None,
-            };
-            if !self.config.use_feedback || feedback_level >= BrownoutLevel::DropFeedback {
-                if best.is_some() {
-                    // Earlier rounds were judged; return the best of them
-                    // below rather than this unjudged answer.
-                    break;
-                }
-                return QueryResult {
-                    answer,
-                    picked_option: picked,
-                    selected,
-                    cost: total_cost,
-                    feedback_rounds: executed_feedback,
-                    retrieval_latency,
-                    answer_latency,
-                    feedback_latency,
-                    feedback_score: None,
-                    degraded: DegradeTrace::new(),
-                    brownout: bctl
-                        .as_ref()
-                        .map_or(BrownoutLevel::None, |c| c.meter.level()),
-                };
-            }
-
-            // Judge against the context the reader actually saw (the
-            // second-best set when the reader degraded).
-            let context: Vec<String> =
-                selected.iter().map(|&id| self.chunks[id].clone()).collect();
-            let fb_start = Instant::now();
-            let fb_sid = span_enter(qt, "feedback");
-            let fb = self.llm.self_feedback(question, &context, &answer);
-            if let (Some(t), Some(id)) = (qt.as_mut(), fb_sid) {
-                t.field(id, "score", u64::from(fb.score));
-                t.field(id, "adjustment", i64::from(fb.adjustment));
-                t.exit(id);
-            }
-            self.tel_stage(Stage::Feedback, fb_start.elapsed());
-            self.tel_cost(Stage::Feedback, &fb.cost);
-            executed_feedback += 1;
-            total_cost.merge(fb.cost);
-            feedback_latency += fb.latency;
-            if let Some(ctl) = bctl.as_mut() {
-                let model = *ctl.meter.model();
-                ctl.meter.charge_time(model.feedback_round_time);
-                ctl.meter.charge_tokens(model.feedback_round_tokens);
-            }
-
-            let better = best.as_ref().is_none_or(|(s, ..)| fb.score > *s);
-            if better {
-                best = Some((fb.score, answer, picked, selected));
-            }
-            if fb.score >= self.config.feedback_threshold || round + 1 == rounds {
-                break;
-            }
-            // Adjust min_k per the judge's context assessment (Figure 2
-            // (C) step 6): -1 drops a chunk, +1 requests one more.
-            let next = min_k as i64 + i64::from(fb.adjustment);
-            min_k = next.clamp(1, self.config.candidates as i64) as usize;
-        }
-
-        // No round produced an answer: the reader exhausted its fallbacks,
-        // or the loop was configured for zero rounds
-        // (`max_feedback_rounds == 0`). Degrade to a well-formed
-        // unanswerable result instead of panicking.
-        let (score, answer, picked, selected) = match best {
-            Some((s, a, p, sel)) => (Some(s), a, p, sel),
-            None => (None, Self::unanswerable(trace.total_delay()), None, Vec::new()),
-        };
-        QueryResult {
-            answer,
-            picked_option: picked,
-            selected,
-            cost: total_cost,
-            feedback_rounds: executed_feedback,
-            retrieval_latency,
-            answer_latency,
-            feedback_latency,
-            feedback_score: score,
-            degraded: DegradeTrace::new(),
-            brownout: bctl.as_ref().map_or(BrownoutLevel::None, |c| c.meter.level()),
-        }
+        crate::exec::execute(self, question, Some(options), Some(budget))
     }
 }
 

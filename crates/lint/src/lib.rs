@@ -3,7 +3,7 @@
 //! The analyzer lexes every `.rs` file in the workspace with its own
 //! minimal Rust lexer ([`lexer`]) — comments, strings, raw strings, and
 //! char literals are skipped, so rules can never fire on text content —
-//! and runs six token-pattern rules ([`rules`]) that enforce the
+//! and runs seven token-pattern rules ([`rules`]) that enforce the
 //! invariants SAGE's evaluation rests on: determinism, panic-freedom on
 //! the serving path, and the inter-crate layering DAG.
 //!

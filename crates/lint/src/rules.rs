@@ -1,4 +1,4 @@
-//! The six workspace rules, expressed as token-pattern checks.
+//! The seven workspace rules, expressed as token-pattern checks.
 //!
 //! Each check walks the lexed token stream of one file. Tokens inside
 //! test-only regions (`in_test`) are exempt from every rule: tests may
@@ -21,6 +21,11 @@ pub const NO_WALLCLOCK: &str = "no-wallclock";
 pub const LAYERING: &str = "layering";
 /// Memory-model hygiene: Relaxed atomics only in telemetry-style counters.
 pub const RELAXED_ATOMICS: &str = "relaxed-atomics-confined";
+/// Architecture: in the orchestrator crate, panic-recovery boundaries
+/// (`catch_unwind`) live only in the execution engine (`core/src/exec/`)
+/// — scattering them re-creates the per-entry-point stitching the engine
+/// replaced and hides where panics are absorbed.
+pub const UNWIND_BOUNDARY: &str = "unwind-boundary";
 /// Engine-level rule for malformed or unjustified suppression markers.
 /// Not suppressible and not a valid name inside a marker.
 pub const BAD_ALLOW: &str = "bad-allow";
@@ -33,6 +38,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_WALLCLOCK,
     LAYERING,
     RELAXED_ATOMICS,
+    UNWIND_BOUNDARY,
 ];
 
 /// Crates on the query serving path, where a panic is an outage.
@@ -206,6 +212,18 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
             }
         }
 
+        if crate_key == "core" && word == "catch_unwind" && !file.contains("/exec/") {
+            out.push(Violation::new(
+                UNWIND_BOUNDARY,
+                file,
+                t.line,
+                "`catch_unwind` in sage-core outside src/exec/: panic-recovery \
+                 boundaries belong to the execution engine; route the call through \
+                 exec::execute_caught"
+                    .to_string(),
+            ));
+        }
+
         if let Some(dep) = word.strip_prefix("sage_") {
             if WORKSPACE_CRATES.contains(&dep) && layering_allows(crate_key, dep) == Some(false) {
                 out.push(Violation::new(
@@ -302,6 +320,19 @@ mod tests {
         assert!(run("sage", "pub use sage_core as core;").is_empty());
         // local names that merely start with sage_ are not imports.
         assert!(run("text", "let sage_selected = 3; let sage_cfg = 4;").is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_confined_to_core_exec() {
+        let src = "fn f() { let _ = std::panic::catch_unwind(|| 1); }";
+        // Anywhere in core outside src/exec/ is a violation…
+        let vs = check_file("core", "crates/core/src/pipeline.rs", &lex(src).tokens);
+        assert_eq!(rules_of(&vs), vec![UNWIND_BOUNDARY]);
+        // …inside the execution engine it is the designed boundary…
+        assert!(check_file("core", "crates/core/src/exec/mod.rs", &lex(src).tokens).is_empty());
+        // …and other crates own their local isolation policy (vecdb's
+        // batch search isolates poisoned queries itself).
+        assert!(check_file("vecdb", "crates/vecdb/src/flat.rs", &lex(src).tokens).is_empty());
     }
 
     #[test]

@@ -15,9 +15,21 @@ cargo build --release --workspace
 
 echo "=== sage-lint (workspace static analysis)"
 # Replaces the old println grep: sage-lint additionally enforces
-# no-panic-serving, deterministic-iteration, no-wallclock, layering, and
-# relaxed-atomics-confined, with justified inline suppressions (DESIGN.md).
+# no-panic-serving, deterministic-iteration, no-wallclock, layering,
+# relaxed-atomics-confined, and unwind-boundary, with justified inline
+# suppressions (DESIGN.md).
 cargo run -q --release -p sage-cli -- lint --root .
+
+echo "=== module-size ceiling (pipeline stays a thin plan-builder layer)"
+# The stage-graph executor (core/src/exec/) owns query execution;
+# pipeline.rs must not grow back into the pre-refactor monolith.
+pipeline_lines=$(wc -l < crates/core/src/pipeline.rs)
+if [ "$pipeline_lines" -ge 700 ]; then
+  echo "FAIL: crates/core/src/pipeline.rs is $pipeline_lines lines (ceiling 700);"
+  echo "      move execution logic into crates/core/src/exec/ instead"
+  exit 1
+fi
+echo "pipeline.rs at $pipeline_lines lines (< 700)"
 
 echo "=== cargo test -q"
 cargo test -q --workspace
@@ -69,6 +81,26 @@ if [ "${1:-}" != fast ]; then
   grep -q ' done ' "$tmp/soak_a.log" || { echo "FAIL: soak completed nothing"; exit 1; }
   grep -q 'panics 0' "$tmp/soak_a.err" || { echo "FAIL: soak saw panics"; exit 1; }
   echo "soak smoke ok"
+
+  echo "=== explain smoke (resolved plan rendering)"
+  # The plan printer must show the full SAGE stage graph and the rewrite
+  # each brownout rung applies; the naive plan must not judge answers.
+  cargo run -q --release -p sage-cli -- explain "why is the sky blue" \
+    > "$tmp/explain_sage.txt"
+  for needle in "embed" "retrieve-dense" "select (gradient)" "feedback" \
+                "rung DropFeedback" "rung FlatTopK" "middleware"; do
+    grep -q "$needle" "$tmp/explain_sage.txt" \
+      || { echo "FAIL: explain output missing '$needle'"; cat "$tmp/explain_sage.txt"; exit 1; }
+  done
+  cargo run -q --release -p sage-cli -- explain --naive --retriever bm25 \
+    > "$tmp/explain_naive.txt"
+  grep -q "retrieve-bm25" "$tmp/explain_naive.txt" \
+    || { echo "FAIL: naive explain missing bm25 stage"; exit 1; }
+  # The naive round template must not judge answers.
+  if grep -q "^  feedback" "$tmp/explain_naive.txt"; then
+    echo "FAIL: naive plan still judges answers"; exit 1
+  fi
+  echo "explain smoke ok"
 fi
 
 echo "=== tier-1 gate OK"

@@ -88,6 +88,7 @@ pub mod prelude {
     };
     pub use sage_core::baselines::{DocSystem, Method};
     pub use sage_core::config::{RetrieverKind, SageConfig};
+    pub use sage_core::exec::{QueryPlan, RerankMode, SelectMode, StageOp};
     pub use sage_core::experiment::{evaluate, MethodScores};
     pub use sage_core::models::{TrainBudget, TrainedModels};
     pub use sage_core::pipeline::{BuildStats, QueryResult, RagSystem};

@@ -1,7 +1,7 @@
 //! Tier-1 gate: the workspace must be clean under `sage-lint`.
 //!
 //! This is the same analysis `sage-cli lint` and `scripts/check.sh` run —
-//! six rules (no-print, no-panic-serving, deterministic-iteration,
+//! seven rules (no-print, no-panic-serving, deterministic-iteration,
 //! no-wallclock, layering, relaxed-atomics-confined) over every crate,
 //! with suppressions requiring an inline justification (DESIGN.md §Static
 //! analysis).
