@@ -322,6 +322,9 @@ pub fn eval(flags: &Flags) -> Result<(), String> {
 /// `--faults`/`--fault-seed`/`--resilience`/`--hnsw` work exactly as in
 /// `sage ask`.
 pub fn soak(flags: &Flags) -> Result<(), String> {
+    if flags.has("live") {
+        return live_soak(flags);
+    }
     let (corpus, questions): (Vec<String>, Vec<String>) = match flags.get("file") {
         Some(path) if !path.is_empty() => {
             let corpus = load_corpus(path)?;
@@ -393,6 +396,59 @@ pub fn soak(flags: &Flags) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("soak invariants violated: {}", violations.join("; ")))
+    }
+}
+
+/// `sage soak --live` — drive the live-corpus writer through a seeded
+/// stream of upsert/delete batches interleaved with queries, optionally
+/// under a crash plan injected at the commit write barriers. Every
+/// injected crash is followed by a recovery drill (reopen, verify epoch
+/// and digest, retry the batch). The event log goes to stdout — it
+/// contains no wall-clock times or paths, so two runs with the same seeds
+/// are byte-identical even in different `--live-dir`s; the summary goes
+/// to stderr. Exits nonzero on invariant violations.
+fn live_soak(flags: &Flags) -> Result<(), String> {
+    let seed: u64 = flags.get_parse("seed", 42u64)?;
+    let dir = match flags.get("live-dir") {
+        Some(d) if !d.is_empty() => std::path::PathBuf::from(d),
+        _ => std::env::temp_dir().join(format!("sage-live-soak-{seed}")),
+    };
+    let crash_seed: u64 = flags.get_parse("crash-seed", 7u64)?;
+    let crash = match flags.get("crash") {
+        Some(spec) if !spec.is_empty() => CrashPlan::parse_spec(spec, crash_seed)
+            .map_err(|e| format!("bad --crash spec: {e}"))?,
+        _ => CrashPlan::none(),
+    };
+    let retriever = LiveRetrieverKind::parse(flags.get_or("retriever", "hashed"))
+        .ok_or_else(|| "bad --retriever for --live (hashed|hnsw|bm25)".to_string())?;
+    let cfg = LiveSoakConfig {
+        seed,
+        commits: flags.get_parse("ops", 24usize)?,
+        batch: flags.get_parse("batch", 4usize)?,
+        doc_pool: flags.get_parse("docs", 16usize)?,
+        queries_per_commit: flags.get_parse("queries", 2usize)?,
+        crash,
+        live: LiveConfig { retriever, ..LiveConfig::default() },
+    };
+    eprintln!(
+        "live soak: seed {} | {} commits x {} ops | pool {} | retriever {} | crash seed {}",
+        cfg.seed,
+        cfg.commits,
+        cfg.batch,
+        cfg.doc_pool,
+        retriever.label(),
+        crash.seed(),
+    );
+    let report = run_live_soak(&dir, &cfg).map_err(|e| format!("live soak failed: {e}"))?;
+    print!("{}", report.log);
+    eprintln!("{}", report.summary());
+    if report.violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "live soak invariants violated: {}",
+            report.violations.join("; ")
+        ))
     }
 }
 
@@ -483,6 +539,9 @@ USAGE:
                [--concurrency 2] [--deadline-ms 8000] [--token-budget 50000]
                [--no-budget] [--docs N | --file <path> --question \"...\"]
                [--max-shed-rate 0.9] [--faults <spec>] [--fault-seed <n>]
+  sage soak --live [--live-dir <dir>] [--ops 24] [--batch 4] [--docs 16]
+               [--queries 2] [--seed 42] [--retriever hashed|hnsw|bm25]
+               [--crash <spec>] [--crash-seed 7]
   sage lint    [--root <path>] [--json]   # workspace static analysis
   sage explain [\"question\"] [--retriever R] [--naive]
                # print the resolved query plan: stages, middleware order,
@@ -530,11 +589,26 @@ SOAK:
   a soak invariant is violated (panics, excess shed, out-of-order
   brownout, unbounded p99). Fault flags compose with the soak.
 
+LIVE SOAK:
+  sage soak --live drives the live-corpus writer (epoch snapshots,
+  incremental segment files + manifest) through a seeded stream of
+  document upserts/deletes interleaved with retrieval queries. --crash
+  injects deterministic crashes at the commit write barriers, e.g.
+  \"pre-rename,post-tmp:0.5\" (points: pre-tmp|post-tmp|pre-rename|
+  post-rename|pre-manifest-commit; bare point = always). Every injected
+  crash is followed by a recovery drill: reopen, verify the store is at
+  the last committed epoch with an identical content digest, retry.
+  The stdout log carries no times or paths — same seeds, same bytes,
+  even across different --live-dir. Exits nonzero if any invariant
+  (recovery, snapshot isolation, hit validity, sublinear updates) is
+  violated.
+
 LINT:
   sage lint walks src/ and crates/*/src/ under --root (default: the
   current directory) and enforces the workspace invariants: no-print,
   no-panic-serving, deterministic-iteration, no-wallclock, layering,
-  relaxed-atomics-confined, unwind-boundary. Suppressions are inline
+  relaxed-atomics-confined, unwind-boundary, mutation-behind-writer.
+  Suppressions are inline
   comment markers carrying a justification (see DESIGN.md). --json
   emits one JSON
   object for machine consumers; exit status is nonzero on violations.

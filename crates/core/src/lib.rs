@@ -27,6 +27,14 @@
 //! * [`soak`] — the deterministic overload harness: a seeded open-loop
 //!   arrival process replayed against a built system through admission
 //!   control and per-query deadline budgets, on a virtual clock.
+//! * [`live`] — the live-corpus mutation subsystem: a single-writer
+//!   [`live::CorpusWriter`] applying document upserts/deletes through
+//!   epoch-based snapshots, persisted as incremental segment files plus a
+//!   manifest (the [`fsx`] commit protocol), with deterministic
+//!   crash-point injection and recovery drills.
+//! * [`fsx`] — the shared durable-commit substrate: CRC-32 `SAGECRC1`
+//!   framing and the atomic tmp+fsync+rename+dir-fsync protocol used by
+//!   [`persist`], [`models`], and the live store.
 
 pub mod baselines;
 mod brownout;
@@ -34,6 +42,8 @@ pub mod case_studies;
 pub mod config;
 pub mod exec;
 pub mod experiment;
+pub mod fsx;
+pub mod live;
 pub mod models;
 pub mod multihop;
 pub mod persist;
@@ -45,6 +55,10 @@ pub mod scalability;
 pub mod soak;
 
 pub use config::{RetrieverKind, SageConfig};
+pub use live::{
+    run_live_soak, CommitReport, CorpusWriter, LiveConfig, LiveHit, LiveOp, LiveRetrieverKind,
+    LiveSnapshot, LiveSoakConfig, LiveSoakReport, RecoveryReport,
+};
 pub use models::TrainedModels;
 pub use pipeline::{BuildStats, QueryResult, RagSystem};
 pub use resilience::ResilienceConfig;

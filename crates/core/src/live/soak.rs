@@ -1,0 +1,409 @@
+//! Live-corpus soak: interleaved writes and queries under a crash plan.
+//!
+//! [`run_live_soak`] drives a [`CorpusWriter`] through a seeded stream of
+//! upsert/delete batches, querying between commits, with deterministic
+//! crash injection at the commit write barriers. Every commit is checked
+//! against four invariants:
+//!
+//! 1. **Recovery** — after an injected crash the store reopens to exactly
+//!    the last committed epoch with an identical content digest, and the
+//!    abandoned batch retries cleanly.
+//! 2. **Snapshot isolation** — a snapshot taken before a commit answers
+//!    identically after it: readers never observe a half-applied batch.
+//! 3. **Hit validity** — every search hit names a document the shadow
+//!    model says exists, and its chunk text is a substring of that
+//!    document's current text (no stale or tombstoned chunks served).
+//! 4. **Sublinear updates** — a commit's indexing work is bounded by the
+//!    batch's dirty documents times a per-document chunk cap, never by
+//!    corpus size.
+//!
+//! The run is a pure function of its config: the op stream, crash
+//! decisions, and every log line derive from the seeds, and the log
+//! contains no wall-clock times or filesystem paths — two runs with the
+//! same config are byte-identical even in different directories, which
+//! `scripts/check.sh` exploits as a determinism gate.
+
+use super::{CorpusWriter, LiveConfig, LiveError, LiveOp};
+use sage_resilience::{CrashPlan, DetRng};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// An upsert may index at most this many chunks per document before the
+/// sublinearity invariant trips (generated docs are 2–3 sentences).
+const CHUNKS_PER_DOC_CAP: usize = 8;
+
+/// Give up on a batch after this many injected crashes in a row. An
+/// `always(point)` plan can never pass — hitting the cap ends the run
+/// (it is not an invariant violation). High enough that fractional plans
+/// essentially never trip it (crash rate 0.6 → p ≈ 3e-6).
+const MAX_ATTEMPTS: usize = 25;
+
+/// Configuration of a live soak run.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveSoakConfig {
+    /// Seed of the op stream (documents, deletes, queries).
+    pub seed: u64,
+    /// Number of commit batches to attempt.
+    pub commits: usize,
+    /// Ops per batch.
+    pub batch: usize,
+    /// Distinct document ids the stream draws from.
+    pub doc_pool: usize,
+    /// Queries to run after each successful commit.
+    pub queries_per_commit: usize,
+    /// Crash plan injected at the commit write barriers.
+    pub crash: CrashPlan,
+    /// Store configuration.
+    pub live: LiveConfig,
+}
+
+impl Default for LiveSoakConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x50AC,
+            commits: 24,
+            batch: 4,
+            doc_pool: 16,
+            queries_per_commit: 2,
+            crash: CrashPlan::none(),
+            live: LiveConfig::default(),
+        }
+    }
+}
+
+/// What a live soak run observed.
+#[derive(Debug, Clone)]
+pub struct LiveSoakReport {
+    /// The deterministic, byte-comparable event log.
+    pub log: String,
+    /// Batches committed successfully.
+    pub commits: usize,
+    /// Crashes injected (each followed by a recovery drill).
+    pub crashes_injected: usize,
+    /// Recovery drills performed.
+    pub recoveries: usize,
+    /// Invariant violations (empty on a healthy run).
+    pub violations: Vec<String>,
+    /// Whether a maxed-out crash plan ended the run early.
+    pub gave_up: bool,
+    /// Last committed epoch.
+    pub final_epoch: u64,
+    /// Content digest of the final state.
+    pub final_digest: u64,
+}
+
+impl LiveSoakReport {
+    /// One-line human summary (stderr; the log itself goes to stdout).
+    pub fn summary(&self) -> String {
+        format!(
+            "live soak: {} commits, {} crashes injected, {} recoveries, \
+             {} violations, final epoch {} digest {:#018x}{}",
+            self.commits,
+            self.crashes_injected,
+            self.recoveries,
+            self.violations.len(),
+            self.final_epoch,
+            self.final_digest,
+            if self.gave_up { " (gave up: crash plan never passes)" } else { "" }
+        )
+    }
+}
+
+/// Seeded word pools for generated document text and queries. Drawn by
+/// index, so text is a pure function of `(doc, version)`.
+const SUBJECTS: [&str; 8] = [
+    "the lighthouse keeper",
+    "a cargo manifest",
+    "the tide table",
+    "an old chart",
+    "the harbor master",
+    "a weather log",
+    "the signal tower",
+    "a mooring ledger",
+];
+const VERBS: [&str; 6] =
+    ["records", "mentions", "describes", "lists", "disputes", "confirms"];
+const OBJECTS: [&str; 8] = [
+    "seventeen vessels",
+    "the northern shoals",
+    "a broken beacon",
+    "the spring tides",
+    "an unpaid berth",
+    "the fog seasons",
+    "two sunken buoys",
+    "the quay repairs",
+];
+
+fn doc_text(doc: usize, version: usize) -> String {
+    let s = SUBJECTS[(doc * 3 + version) % SUBJECTS.len()];
+    let v = VERBS[(doc + version * 5) % VERBS.len()];
+    let o = OBJECTS[(doc * 7 + version * 2) % OBJECTS.len()];
+    let o2 = OBJECTS[(doc + version) % OBJECTS.len()];
+    format!(
+        "Entry {doc} revision {version}: {s} {v} {o}. \
+         A later note adds that {s} also {v} {o2}."
+    )
+}
+
+fn query_text(rng: &mut DetRng) -> String {
+    let s = SUBJECTS[(rng.next_u64() % SUBJECTS.len() as u64) as usize];
+    let o = OBJECTS[(rng.next_u64() % OBJECTS.len() as u64) as usize];
+    format!("what does {s} say about {o}")
+}
+
+/// Run a live soak against the store directory `dir` (created if absent;
+/// expected to be a scratch directory).
+pub fn run_live_soak(dir: &Path, cfg: &LiveSoakConfig) -> Result<LiveSoakReport, LiveError> {
+    let mut log = String::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
+    let mut shadow: BTreeMap<String, String> = BTreeMap::new();
+    let mut versions: BTreeMap<usize, usize> = BTreeMap::new();
+
+    let (mut writer, rec) = CorpusWriter::open_with_crash_plan(dir, cfg.live, cfg.crash)?;
+    let _ = writeln!(
+        log,
+        "open epoch={} segments={} orphans={}",
+        rec.epoch, rec.segments_replayed, rec.orphans_discarded
+    );
+    let mut commits = 0usize;
+    let mut crashes = 0usize;
+    let mut recoveries = 0usize;
+    let mut gave_up = false;
+
+    'run: for _ in 0..cfg.commits {
+        // Generate one batch against the shadow model.
+        let mut ops: Vec<LiveOp> = Vec::with_capacity(cfg.batch);
+        let mut dirty_upserts = 0usize;
+        for _ in 0..cfg.batch {
+            let delete = rng.next_f64() < 0.2 && !shadow.is_empty();
+            if delete {
+                let idx = (rng.next_u64() % shadow.len() as u64) as usize;
+                let doc_id = match shadow.keys().nth(idx) {
+                    Some(k) => k.clone(),
+                    None => continue,
+                };
+                shadow.remove(&doc_id);
+                ops.push(LiveOp::Delete { doc_id });
+            } else {
+                let doc = (rng.next_u64() % cfg.doc_pool.max(1) as u64) as usize;
+                let version = versions.entry(doc).or_insert(0);
+                let text = doc_text(doc, *version);
+                *version += 1;
+                let doc_id = format!("doc-{doc:03}");
+                if shadow.get(&doc_id).map(String::as_str) != Some(text.as_str()) {
+                    dirty_upserts += 1;
+                }
+                shadow.insert(doc_id.clone(), text.clone());
+                ops.push(LiveOp::Upsert { doc_id, text });
+            }
+        }
+
+        // Invariant 2 witness: a snapshot held across the commit.
+        let held = writer.snapshot();
+        let witness_query = query_text(&mut rng);
+        let before = held.search(&witness_query, 5);
+
+        // Commit, drilling recovery after every injected crash.
+        let mut attempts = 0usize;
+        let report = loop {
+            let expected = (writer.epoch(), writer.digest());
+            match writer.commit(&ops) {
+                Ok(report) => break report,
+                Err(LiveError::CrashInjected(point)) => {
+                    crashes += 1;
+                    attempts += 1;
+                    let _ = writeln!(
+                        log,
+                        "crash point={} epoch={}",
+                        point.label(),
+                        expected.0 + 1
+                    );
+                    drop(writer);
+                    let (w, rec) = CorpusWriter::open_with_crash_plan(dir, cfg.live, cfg.crash)?;
+                    recoveries += 1;
+                    let _ = writeln!(
+                        log,
+                        "recover epoch={} segments={} orphans={} digest={:#018x}",
+                        rec.epoch,
+                        rec.segments_replayed,
+                        rec.orphans_discarded,
+                        w.digest()
+                    );
+                    if rec.epoch != expected.0 || w.digest() != expected.1 {
+                        violations.push(format!(
+                            "recovery after {point} crash: expected epoch {} digest \
+                             {:#018x}, recovered epoch {} digest {:#018x}",
+                            expected.0,
+                            expected.1,
+                            rec.epoch,
+                            w.digest()
+                        ));
+                    }
+                    writer = w;
+                    writer.set_commit_attempt(attempts as u32);
+                    if attempts >= MAX_ATTEMPTS {
+                        let _ = writeln!(log, "gave-up epoch={}", expected.0 + 1);
+                        gave_up = true;
+                        break 'run;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        commits += 1;
+        let _ = writeln!(
+            log,
+            "commit epoch={} ops={} upserts={} clean={} deletes={} chunks={} \
+             tombstones={} compacted={}",
+            report.epoch,
+            ops.len(),
+            report.docs_upserted,
+            report.clean_upserts,
+            report.docs_deleted,
+            report.chunks_indexed,
+            report.tombstones,
+            report.compacted
+        );
+
+        // Invariant 2: the held snapshot answers as before the commit.
+        if held.search(&witness_query, 5) != before || held.epoch() != report.epoch - 1 {
+            violations.push(format!(
+                "snapshot isolation broken across epoch {} commit",
+                report.epoch
+            ));
+        }
+
+        // Invariant 4: indexing work bounded by the batch, not the corpus.
+        if report.chunks_indexed > dirty_upserts * CHUNKS_PER_DOC_CAP {
+            violations.push(format!(
+                "epoch {}: {} chunks indexed for {} dirty upserts (cap {})",
+                report.epoch, report.chunks_indexed, dirty_upserts, CHUNKS_PER_DOC_CAP
+            ));
+        }
+
+        // Invariant 3: fresh-snapshot hits agree with the shadow model.
+        let snap = writer.snapshot();
+        for _ in 0..cfg.queries_per_commit {
+            let q = query_text(&mut rng);
+            let hits = snap.search(&q, 3);
+            let _ = writeln!(log, "query epoch={} hits={} q=\"{q}\"", snap.epoch(), hits.len());
+            for hit in hits {
+                match shadow.get(&hit.doc_id) {
+                    Some(text) if text.contains(&hit.chunk) => {}
+                    Some(_) => violations.push(format!(
+                        "epoch {}: hit chunk not in current text of {}",
+                        snap.epoch(),
+                        hit.doc_id
+                    )),
+                    None => violations.push(format!(
+                        "epoch {}: hit names deleted/unknown doc {}",
+                        snap.epoch(),
+                        hit.doc_id
+                    )),
+                }
+            }
+        }
+    }
+
+    let final_epoch = writer.epoch();
+    let final_digest = writer.digest();
+    for v in &violations {
+        let _ = writeln!(log, "VIOLATION {v}");
+    }
+    let _ = writeln!(
+        log,
+        "done commits={commits} crashes={crashes} recoveries={recoveries} \
+         violations={} epoch={final_epoch} digest={final_digest:#018x}",
+        violations.len()
+    );
+
+    Ok(LiveSoakReport {
+        log,
+        commits,
+        crashes_injected: crashes,
+        recoveries,
+        violations,
+        gave_up,
+        final_epoch,
+        final_digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_resilience::CrashPoint;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sage_live_soak_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn base_cfg() -> LiveSoakConfig {
+        LiveSoakConfig { commits: 12, ..LiveSoakConfig::default() }
+    }
+
+    #[test]
+    fn healthy_soak_has_no_violations() {
+        let dir = scratch("healthy");
+        let report = run_live_soak(&dir, &base_cfg()).expect("soak");
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert_eq!(report.commits, 12);
+        assert_eq!(report.final_epoch, 12);
+        assert_eq!(report.crashes_injected, 0);
+        assert!(!report.gave_up);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn soak_is_byte_deterministic_across_directories() {
+        let (a, b) = (scratch("det_a"), scratch("det_b"));
+        let cfg = LiveSoakConfig {
+            crash: CrashPlan::seeded(5).with(CrashPoint::PreRename, 0.3),
+            ..base_cfg()
+        };
+        let ra = run_live_soak(&a, &cfg).expect("soak a");
+        let rb = run_live_soak(&b, &cfg).expect("soak b");
+        assert_eq!(ra.log, rb.log, "logs must be byte-identical across runs");
+        assert_eq!(ra.final_digest, rb.final_digest);
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn crashy_soak_recovers_every_time_with_zero_violations() {
+        let dir = scratch("crashy");
+        let cfg = LiveSoakConfig {
+            crash: CrashPlan::seeded(9)
+                .with(CrashPoint::PostTmp, 0.4)
+                .with(CrashPoint::PreManifest, 0.3),
+            ..base_cfg()
+        };
+        let report = run_live_soak(&dir, &cfg).expect("soak");
+        assert!(report.crashes_injected > 0, "plan should fire at these rates");
+        assert_eq!(report.recoveries, report.crashes_injected);
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert_eq!(report.commits, 12, "every batch eventually commits");
+        assert!(!report.gave_up);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn certain_crash_plan_gives_up_rather_than_spinning() {
+        let dir = scratch("certain");
+        let cfg = LiveSoakConfig {
+            crash: CrashPlan::always(CrashPoint::PreTmp),
+            ..base_cfg()
+        };
+        let report = run_live_soak(&dir, &cfg).expect("soak");
+        assert!(report.gave_up);
+        assert_eq!(report.commits, 0);
+        assert_eq!(report.final_epoch, 0);
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert!(report.summary().contains("gave up"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

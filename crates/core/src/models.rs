@@ -126,14 +126,20 @@ impl TrainedModels {
         Some(Self { segmentation, scorer, siamese, dual })
     }
 
-    /// Save the models to a file.
+    /// Save the models to a file, atomically and with an integrity
+    /// trailer (the shared [`crate::fsx`] commit path: CRC-32 `SAGECRC1`
+    /// trailer, tmp+fsync+rename+dir-fsync).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        crate::fsx::commit_bytes(path, &crate::fsx::frame(&self.to_bytes()))
     }
 
     /// Load models from a file saved by [`TrainedModels::save`].
+    ///
+    /// A torn write or bit rot surfaces as a distinct checksum-mismatch
+    /// [`std::io::ErrorKind::InvalidData`] error; pre-trailer files load
+    /// unchecked.
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
-        let raw = std::fs::read(path)?;
+        let raw = crate::fsx::unframe(std::fs::read(path)?, "SAGE model file")?;
         Self::from_bytes(bytes::Bytes::from(raw)).ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed SAGE model file")
         })
@@ -244,6 +250,39 @@ mod tests {
     fn malformed_model_file_rejected() {
         assert!(TrainedModels::from_bytes(bytes::Bytes::from_static(b"nope")).is_none());
         assert!(TrainedModels::from_bytes(bytes::Bytes::from_static(b"SAGEMDL1junk")).is_none());
+    }
+
+    #[test]
+    fn torn_model_write_is_a_checksum_error() {
+        let m = TrainedModels::train(TrainBudget::tiny());
+        let path = std::env::temp_dir().join("sage_models_torn_test.bin");
+        m.save(&path).expect("save");
+        // The atomic commit leaves no scratch file behind.
+        assert!(!crate::fsx::tmp_path(&path).exists());
+        let mut raw = std::fs::read(&path).expect("read back");
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x08;
+        std::fs::write(&path, &raw).expect("write corrupt");
+        let err = match TrainedModels::load(&path) {
+            Ok(_) => panic!("corrupt model file must not load"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum mismatch in SAGE model file"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_model_files_without_trailer_still_load() {
+        let m = TrainedModels::train(TrainBudget::tiny());
+        let path = std::env::temp_dir().join("sage_models_legacy_test.bin");
+        std::fs::write(&path, m.to_bytes()).expect("write legacy");
+        let back = TrainedModels::load(&path).expect("legacy load");
+        assert_eq!(
+            m.segmentation.score_pair("a b", "c d"),
+            back.segmentation.score_pair("a b", "c d")
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

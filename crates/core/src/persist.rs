@@ -9,17 +9,17 @@
 //! The LLM profile is intentionally *not* persisted: the reader is a
 //! runtime choice, not a property of the corpus.
 //!
-//! On disk the payload is followed by an integrity trailer — the IEEE
-//! CRC-32 of the payload (little-endian) and the `SAGECRC1` magic — and
-//! [`RagSystem::save`] is atomic: it writes `<path>.tmp`, fsyncs, then
-//! renames over the target, so a crash mid-save leaves either the old
-//! file or the new one, never a torn hybrid. [`RagSystem::load`]
-//! distinguishes the two corruption modes with distinct errors: a
-//! checksum mismatch (torn write / bit rot caught by the trailer) versus
-//! a structurally malformed payload. Files saved before the trailer
-//! existed still load (the trailer is detected by its magic).
+//! On disk the payload is framed and committed through [`crate::fsx`] —
+//! the shared CRC-32 `SAGECRC1` trailer plus tmp+fsync+rename+dir-fsync
+//! protocol — so a crash mid-save leaves either the old file or the new
+//! one, never a torn hybrid. [`RagSystem::load`] distinguishes the two
+//! corruption modes with distinct errors: a checksum mismatch (torn write
+//! / bit rot caught by the trailer) versus a structurally malformed
+//! payload. Files saved before the trailer existed still load (the
+//! trailer is detected by its magic).
 
 use crate::config::{RetrieverKind, SageConfig};
+use crate::fsx;
 use crate::pipeline::{AnyRetriever, RagSystem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sage_embed::{DualEncoder, HashedEmbedder, SiameseEncoder};
@@ -31,41 +31,6 @@ use sage_retrieval::{Bm25Retriever, DenseRetriever, Retriever};
 use sage_vecdb::{FlatIndex, VectorIndex};
 
 const MAGIC: &[u8; 8] = b"SAGESYS1";
-
-/// Trailing magic that marks a file carrying the CRC-32 trailer. Kept
-/// distinct from the header magic so a truncated header is never confused
-/// with a missing trailer.
-const TRAILER_MAGIC: &[u8; 8] = b"SAGECRC1";
-
-/// Trailer layout: 4-byte little-endian CRC-32 of the payload, then
-/// [`TRAILER_MAGIC`].
-const TRAILER_LEN: usize = 4 + TRAILER_MAGIC.len();
-
-/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) — the checksum in the
-/// saved-file trailer. Table-driven; the table is built at compile time.
-/// Test vector: `crc32(b"123456789") == 0xCBF4_3926`.
-pub(crate) fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-                k += 1;
-            }
-            table[i] = c;
-            i += 1;
-        }
-        table
-    };
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
-        crc = TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    !crc
-}
 
 fn write_config(cfg: &SageConfig, buf: &mut BytesMut) {
     buf.put_f32_le(cfg.segmentation_threshold);
@@ -239,35 +204,7 @@ impl RagSystem {
     /// best-effort so the rename itself is durable. A crash at any point
     /// leaves either the previous file or the complete new one.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        use std::io::Write;
-        let payload = self.to_bytes();
-        let mut framed = Vec::with_capacity(payload.len() + TRAILER_LEN);
-        framed.extend_from_slice(&payload);
-        framed.extend_from_slice(&crc32(&payload).to_le_bytes());
-        framed.extend_from_slice(TRAILER_MAGIC);
-
-        let mut tmp_name = path.as_os_str().to_owned();
-        tmp_name.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp_name);
-        {
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(&framed)?;
-            file.sync_all()?;
-        }
-        if let Err(e) = std::fs::rename(&tmp, path) {
-            std::fs::remove_file(&tmp).ok();
-            return Err(e);
-        }
-        // Durability of the rename: fsync the directory entry. Not every
-        // platform lets a directory be opened, so failures are ignored.
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                if let Ok(handle) = std::fs::File::open(dir) {
-                    let _ = handle.sync_all();
-                }
-            }
-        }
-        Ok(())
+        fsx::commit_bytes(path, &fsx::frame(&self.to_bytes()))
     }
 
     /// Load a system from a file saved by [`RagSystem::save`].
@@ -278,27 +215,7 @@ impl RagSystem {
     /// the payload itself fails to parse. Files written before the trailer
     /// existed carry no `SAGECRC1` suffix and are parsed unchecked.
     pub fn load(path: &std::path::Path, profile: LlmProfile) -> std::io::Result<Self> {
-        let mut raw = std::fs::read(path)?;
-        if raw.len() >= TRAILER_LEN && raw[raw.len() - TRAILER_MAGIC.len()..] == TRAILER_MAGIC[..] {
-            let body_end = raw.len() - TRAILER_LEN;
-            let stored = u32::from_le_bytes([
-                raw[body_end],
-                raw[body_end + 1],
-                raw[body_end + 2],
-                raw[body_end + 3],
-            ]);
-            let actual = crc32(&raw[..body_end]);
-            if stored != actual {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!(
-                        "checksum mismatch in SAGE system file (stored {stored:#010x}, \
-                         computed {actual:#010x}): torn write or bit rot"
-                    ),
-                ));
-            }
-            raw.truncate(body_end);
-        }
+        let raw = fsx::unframe(std::fs::read(path)?, "SAGE system file")?;
         Self::from_bytes(Bytes::from(raw), profile).ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed SAGE system file")
         })
@@ -308,6 +225,7 @@ impl RagSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fsx::TRAILER_LEN;
     use crate::models::{TrainBudget, TrainedModels};
     use std::sync::OnceLock;
 
@@ -368,12 +286,6 @@ mod tests {
         tmp.push(".tmp");
         assert!(!std::path::PathBuf::from(tmp).exists(), "tmp file must be renamed away");
         std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn crc32_matches_ieee_test_vector() {
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

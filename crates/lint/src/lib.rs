@@ -3,9 +3,10 @@
 //! The analyzer lexes every `.rs` file in the workspace with its own
 //! minimal Rust lexer ([`lexer`]) — comments, strings, raw strings, and
 //! char literals are skipped, so rules can never fire on text content —
-//! and runs seven token-pattern rules ([`rules`]) that enforce the
+//! and runs eight token-pattern rules ([`rules`]) that enforce the
 //! invariants SAGE's evaluation rests on: determinism, panic-freedom on
-//! the serving path, and the inter-crate layering DAG.
+//! the serving path, the inter-crate layering DAG, and the single-writer
+//! confinement of live-corpus mutation.
 //!
 //! A violation can be suppressed with an inline comment marker naming
 //! the rule and carrying a justification (the exact grammar is

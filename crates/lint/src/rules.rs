@@ -1,4 +1,4 @@
-//! The seven workspace rules, expressed as token-pattern checks.
+//! The eight workspace rules, expressed as token-pattern checks.
 //!
 //! Each check walks the lexed token stream of one file. Tokens inside
 //! test-only regions (`in_test`) are exempt from every rule: tests may
@@ -26,6 +26,12 @@ pub const RELAXED_ATOMICS: &str = "relaxed-atomics-confined";
 /// — scattering them re-creates the per-entry-point stitching the engine
 /// replaced and hides where panics are absorbed.
 pub const UNWIND_BOUNDARY: &str = "unwind-boundary";
+/// Architecture: corpus mutation stays behind the single writer. The
+/// tombstone/delta surfaces (`MutableIndex`, BM25's `push_live_chunk` /
+/// `tombstone_chunk`) are only sound under one mutator with epoch
+/// snapshots; any other call site bypasses the commit protocol and can
+/// serve half-applied state.
+pub const MUTATION_BEHIND_WRITER: &str = "mutation-behind-writer";
 /// Engine-level rule for malformed or unjustified suppression markers.
 /// Not suppressible and not a valid name inside a marker.
 pub const BAD_ALLOW: &str = "bad-allow";
@@ -39,6 +45,7 @@ pub const ALL_RULES: &[&str] = &[
     LAYERING,
     RELAXED_ATOMICS,
     UNWIND_BOUNDARY,
+    MUTATION_BEHIND_WRITER,
 ];
 
 /// Crates on the query serving path, where a panic is an outage.
@@ -212,6 +219,29 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
             }
         }
 
+        // The mutation surfaces' home crates (vecdb defines MutableIndex,
+        // retrieval defines the BM25 delta methods) and sage-core's live
+        // module (the single writer) are the only legal non-test users.
+        // `use` lines are exempt so facades may re-export the types.
+        let mutation_home =
+            matches!(crate_key, "vecdb" | "retrieval") || file.contains("/live/");
+        if library
+            && !mutation_home
+            && !in_use
+            && matches!(word, "MutableIndex" | "push_live_chunk" | "tombstone_chunk")
+        {
+            out.push(Violation::new(
+                MUTATION_BEHIND_WRITER,
+                file,
+                t.line,
+                format!(
+                    "`{word}` outside sage-core's live module: corpus mutation is \
+                     only sound behind the single CorpusWriter (epoch snapshots, \
+                     durable segments); route changes through live::CorpusWriter"
+                ),
+            ));
+        }
+
         if crate_key == "core" && word == "catch_unwind" && !file.contains("/exec/") {
             out.push(Violation::new(
                 UNWIND_BOUNDARY,
@@ -333,6 +363,28 @@ mod tests {
         // …and other crates own their local isolation policy (vecdb's
         // batch search isolates poisoned queries itself).
         assert!(check_file("vecdb", "crates/vecdb/src/flat.rs", &lex(src).tokens).is_empty());
+    }
+
+    #[test]
+    fn mutation_surfaces_confined_to_live_writer() {
+        let src = "fn f(m: &mut MutableIndex) { m.tombstone(0); }";
+        // Library code outside the live module may not touch the type…
+        let vs = check_file("core", "crates/core/src/pipeline.rs", &lex(src).tokens);
+        assert_eq!(rules_of(&vs), vec![MUTATION_BEHIND_WRITER]);
+        // …the live module is the single writer…
+        assert!(check_file("core", "crates/core/src/live/mod.rs", &lex(src).tokens).is_empty());
+        // …the defining crates are exempt (they implement the surface)…
+        assert!(check_file("vecdb", "crates/vecdb/src/mutable.rs", &lex(src).tokens).is_empty());
+        let delta = "fn g(r: &mut Bm25Retriever) { r.push_live_chunk(\"x\"); }";
+        assert!(check_file("retrieval", "crates/retrieval/src/bm25.rs", &lex(delta).tokens)
+            .is_empty());
+        assert_eq!(
+            rules_of(&check_file("llm", "crates/llm/src/lib.rs", &lex(delta).tokens)),
+            vec![MUTATION_BEHIND_WRITER]
+        );
+        // …re-exports and binaries stay legal.
+        assert!(run("sage", "pub use sage_vecdb::{MutableIndex, VectorIndex};").is_empty());
+        assert!(run("cli", "fn f(m: &mut MutableIndex) { m.tombstone(0); }").is_empty());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   `(seed, component, call key, attempt)`, so the same plan over the
 //!   same corpus and question reproduces the same faults bit-for-bit,
 //!   regardless of thread interleaving.
+//! * [`CrashPlan`] — seeded crash injection at durable-write barriers
+//!   ([`CrashPoint`]: pre-tmp through pre-manifest-commit), powering the
+//!   live corpus store's recovery drills in `sage-core`.
 //! * [`RetryPolicy`] + [`VirtualClock`] — bounded attempts with
 //!   exponential backoff and deterministic jitter. Time is *virtual*:
 //!   backoff and timeout penalties accumulate on a counter instead of
@@ -32,6 +35,7 @@
 //! free substrate they all share.
 
 pub mod breaker;
+pub mod crash;
 pub mod error;
 pub mod fault;
 pub mod guard;
@@ -40,6 +44,7 @@ pub mod rng;
 pub mod trace;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use crash::{CrashPlan, CrashPoint};
 pub use error::SageError;
 pub use fault::{Component, FaultKind, FaultPlan, Rates};
 pub use guard::{Failure, Guard};

@@ -26,7 +26,16 @@ impl Default for Bm25Params {
 }
 
 /// BM25 retriever with an inverted index.
-#[derive(Debug)]
+///
+/// Supports two indexing modes: [`Retriever::index`] (full rebuild) and the
+/// delta path used by `sage-core`'s live-corpus writer —
+/// [`push_live_chunk`](Self::push_live_chunk) appends postings for one new
+/// chunk and [`tombstone_chunk`](Self::tombstone_chunk) logically deletes
+/// one. Tombstoned chunks are skipped at retrieval and excluded from the
+/// average-length normaliser; their postings (and document-frequency
+/// contributions) linger until the writer compacts with a full rebuild
+/// over the survivors.
+#[derive(Debug, Clone)]
 pub struct Bm25Retriever {
     params: Bm25Params,
     vocab: Vocab,
@@ -35,6 +44,11 @@ pub struct Bm25Retriever {
     /// Token count per chunk.
     chunk_len: Vec<u32>,
     avg_len: f32,
+    /// Tombstone bitmap for the delta path (all-live after a full rebuild).
+    deleted: Vec<bool>,
+    /// Token count summed over live chunks (drives `avg_len`).
+    live_total_len: u64,
+    live_count: u32,
 }
 
 impl Default for Bm25Retriever {
@@ -57,11 +71,69 @@ impl Bm25Retriever {
             postings: HashMap::new(),
             chunk_len: Vec::new(),
             avg_len: 0.0,
+            deleted: Vec::new(),
+            live_total_len: 0,
+            live_count: 0,
         }
     }
 
     fn terms(text: &str) -> Vec<String> {
         tokenize(text).iter().map(|t| stem(t)).collect()
+    }
+
+    /// Append one chunk's postings without rebuilding (the live writer's
+    /// delta path). Returns the new chunk's index.
+    pub fn push_live_chunk(&mut self, text: &str) -> usize {
+        let ci = self.chunk_len.len();
+        let terms = Self::terms(text);
+        self.chunk_len.push(terms.len() as u32);
+        self.deleted.push(false);
+        self.live_total_len += terms.len() as u64;
+        self.live_count += 1;
+        let mut tf: HashMap<u32, u32> = HashMap::new();
+        for term in &terms {
+            *tf.entry(self.vocab.intern(term)).or_insert(0) += 1;
+        }
+        let ids: Vec<u32> = tf.keys().copied().collect();
+        self.vocab.record_document(&ids);
+        for (id, freq) in tf {
+            self.postings.entry(id).or_default().push((ci as u32, freq));
+        }
+        self.recompute_avg_len();
+        ci
+    }
+
+    /// Logically delete chunk `index`: it stops being retrieved and stops
+    /// contributing to length normalisation. Idempotent; returns `false`
+    /// when `index` is out of range or already tombstoned. Postings stay
+    /// until the owner rebuilds over the survivors ([`Retriever::index`]).
+    pub fn tombstone_chunk(&mut self, index: usize) -> bool {
+        if index >= self.deleted.len() || self.deleted[index] {
+            return false;
+        }
+        self.deleted[index] = true;
+        self.live_total_len -= u64::from(self.chunk_len[index]);
+        self.live_count -= 1;
+        self.recompute_avg_len();
+        true
+    }
+
+    /// Whether chunk `index` is tombstoned.
+    pub fn is_deleted(&self, index: usize) -> bool {
+        self.deleted.get(index).copied().unwrap_or(false)
+    }
+
+    /// Number of live (non-tombstoned) chunks.
+    pub fn live_len(&self) -> usize {
+        self.live_count as usize
+    }
+
+    fn recompute_avg_len(&mut self) {
+        self.avg_len = if self.live_count == 0 {
+            0.0
+        } else {
+            self.live_total_len as f32 / self.live_count as f32
+        };
     }
 }
 
@@ -70,6 +142,7 @@ impl Retriever for Bm25Retriever {
         self.vocab = Vocab::new();
         self.postings.clear();
         self.chunk_len.clear();
+        self.deleted.clear();
         let mut total_len = 0u64;
         for (ci, chunk) in chunks.iter().enumerate() {
             let terms = Self::terms(chunk);
@@ -85,6 +158,9 @@ impl Retriever for Bm25Retriever {
                 self.postings.entry(id).or_default().push((ci as u32, freq));
             }
         }
+        self.deleted.resize(chunks.len(), false);
+        self.live_total_len = total_len;
+        self.live_count = chunks.len() as u32;
         self.avg_len = if chunks.is_empty() {
             0.0
         } else {
@@ -93,7 +169,7 @@ impl Retriever for Bm25Retriever {
     }
 
     fn retrieve(&self, query: &str, n: usize) -> Vec<ScoredChunk> {
-        if self.chunk_len.is_empty() || n == 0 {
+        if self.live_count == 0 || n == 0 {
             return Vec::new();
         }
         sage_telemetry::metrics::BM25_SEARCHES.inc();
@@ -104,6 +180,9 @@ impl Retriever for Bm25Retriever {
             sage_telemetry::metrics::BM25_POSTINGS_SCANNED.add(postings.len() as u64);
             let idf = self.vocab.idf(id);
             for &(chunk, tf) in postings {
+                if self.deleted[chunk as usize] {
+                    continue;
+                }
                 let tf = tf as f32;
                 let len = self.chunk_len[chunk as usize] as f32;
                 let denom =
@@ -132,7 +211,7 @@ impl Retriever for Bm25Retriever {
     fn memory_bytes(&self) -> usize {
         let postings: usize =
             self.postings.values().map(|p| p.capacity() * 8 + 48).sum::<usize>();
-        postings + self.chunk_len.capacity() * 4 + self.vocab.len() * 24
+        postings + self.chunk_len.capacity() * 4 + self.deleted.capacity() + self.vocab.len() * 24
     }
 }
 
@@ -231,5 +310,72 @@ mod tests {
     #[test]
     fn memory_is_positive() {
         assert!(indexed().memory_bytes() > 0);
+    }
+
+    #[test]
+    fn delta_path_matches_full_rebuild() {
+        let mut full = Bm25Retriever::new();
+        full.index(&chunks());
+        let mut delta = Bm25Retriever::new();
+        for chunk in chunks() {
+            delta.push_live_chunk(&chunk);
+        }
+        assert_eq!(delta.len(), full.len());
+        for query in ["cat eyes", "the moon", "rocket", "dough town"] {
+            let a = full.retrieve(query, 5);
+            let b = delta.retrieve(query, 5);
+            assert_eq!(a.len(), b.len(), "{query}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.index, y.index, "{query}");
+                assert!((x.score - y.score).abs() < 1e-6, "{query}: {x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tombstoned_chunks_are_not_retrieved() {
+        let mut r = indexed();
+        assert_eq!(r.retrieve("eyes", 5)[0].index, 0);
+        assert!(r.tombstone_chunk(0));
+        assert!(!r.tombstone_chunk(0), "idempotent");
+        assert!(!r.tombstone_chunk(99), "bounds-checked");
+        assert_eq!(r.live_len(), 4);
+        assert!(r.is_deleted(0));
+        let hits = r.retrieve("cat eyes", 5);
+        assert!(hits.iter().all(|h| h.index != 0), "{hits:?}");
+    }
+
+    #[test]
+    fn tombstones_leave_length_normalisation_to_live_chunks() {
+        let mut r = Bm25Retriever::new();
+        r.push_live_chunk("green eyes");
+        let long = r.push_live_chunk(
+            "green eyes and a very long trailing description of many unrelated things in the \
+             garden near the fence by the road",
+        );
+        r.push_live_chunk("unrelated harbor town");
+        r.tombstone_chunk(long);
+        // avg_len is now over the two short live chunks only.
+        let hits = r.retrieve("green eyes", 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 0);
+    }
+
+    #[test]
+    fn all_tombstoned_returns_empty() {
+        let mut r = Bm25Retriever::new();
+        r.push_live_chunk("only chunk");
+        r.tombstone_chunk(0);
+        assert!(r.retrieve("only", 3).is_empty());
+        assert_eq!(r.live_len(), 0);
+    }
+
+    #[test]
+    fn full_rebuild_clears_tombstones() {
+        let mut r = indexed();
+        r.tombstone_chunk(0);
+        r.index(&chunks());
+        assert_eq!(r.live_len(), 5);
+        assert_eq!(r.retrieve("eyes", 5)[0].index, 0);
     }
 }

@@ -24,3 +24,28 @@ pub mod segmenter;
 
 pub use model::{FeatureConfig, SegmentationModel, TrainReport};
 pub use segmenter::{FixedLengthSegmenter, Segmenter, SemanticSegmenter, SentenceSegmenter};
+
+/// FNV-1a fingerprint of a document's text — the dirty-document check in
+/// `sage-core`'s live-corpus writer. An upsert whose fingerprint matches
+/// the stored one is a no-op, so only changed documents pay the
+/// re-segmentation and re-embedding cost.
+pub fn fingerprint(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod fingerprint_tests {
+    use super::fingerprint;
+
+    #[test]
+    fn fingerprint_separates_texts_and_is_stable() {
+        assert_eq!(fingerprint("the cat sat"), fingerprint("the cat sat"));
+        assert_ne!(fingerprint("the cat sat"), fingerprint("the cat sat."));
+        assert_ne!(fingerprint(""), fingerprint(" "));
+    }
+}

@@ -12,6 +12,11 @@
 //!   (Faiss's other workhorse design), trading a training phase for
 //!   cell-local scans.
 //!
+//! [`MutableIndex`] layers logical deletion (tombstones + deterministic
+//! compaction) over a flat arena with an optional HNSW tier — the vector
+//! side of `sage-core`'s live-corpus writer. All mutation of it is
+//! confined to that writer by the `mutation-behind-writer` lint rule.
+//!
 //! All three assign sequential internal ids in insertion order, which is exactly
 //! the paper's "record of the mapping between the index of each chunk in 𝕋
 //! and its corresponding vector" (§III-A): insert chunks in order and the
@@ -25,10 +30,12 @@ pub mod flat;
 pub mod hnsw;
 pub mod ivf;
 pub mod metric;
+pub mod mutable;
 pub mod shared;
 
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
+pub use mutable::MutableIndex;
 pub use ivf::{IvfConfig, IvfIndex};
 pub use metric::Metric;
 pub use shared::SharedIndex;

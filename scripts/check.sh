@@ -82,6 +82,34 @@ if [ "${1:-}" != fast ]; then
   grep -q 'panics 0' "$tmp/soak_a.err" || { echo "FAIL: soak saw panics"; exit 1; }
   echo "soak smoke ok"
 
+  echo "=== live-corpus smoke (crash injection + recovery drill)"
+  # Mutate a store under a crash plan: every injected crash must recover
+  # to the last committed epoch (the command exits nonzero on any live
+  # invariant violation), and two runs with the same seeds must produce
+  # byte-identical logs even in different directories — the log carries
+  # no wall-clock times or paths.
+  cargo run -q --release -p sage-cli -- soak --live \
+    --live-dir "$tmp/live_a" --ops 12 --seed 42 \
+    --crash "pre-rename:0.4,pre-manifest-commit:0.3" --crash-seed 7 \
+    > "$tmp/live_a.log" 2> "$tmp/live_a.err"
+  cargo run -q --release -p sage-cli -- soak --live \
+    --live-dir "$tmp/live_b" --ops 12 --seed 42 \
+    --crash "pre-rename:0.4,pre-manifest-commit:0.3" --crash-seed 7 \
+    > "$tmp/live_b.log" 2> /dev/null
+  diff -q "$tmp/live_a.log" "$tmp/live_b.log" \
+    || { echo "FAIL: live soak replay is not deterministic"; exit 1; }
+  grep -q '^recover ' "$tmp/live_a.log" \
+    || { echo "FAIL: crash plan injected no recovery drill"; exit 1; }
+  grep -q 'violations=0 ' "$tmp/live_a.log" \
+    || { echo "FAIL: live soak saw invariant violations"; exit 1; }
+  # Reload the survivor store: it must reopen cleanly at its last epoch.
+  cargo run -q --release -p sage-cli -- soak --live \
+    --live-dir "$tmp/live_a" --ops 0 --seed 43 \
+    > "$tmp/live_reopen.log" 2> /dev/null
+  grep -Eq '^open epoch=[1-9]' "$tmp/live_reopen.log" \
+    || { echo "FAIL: live store did not reopen at committed epoch"; cat "$tmp/live_reopen.log"; exit 1; }
+  echo "live-corpus smoke ok"
+
   echo "=== explain smoke (resolved plan rendering)"
   # The plan printer must show the full SAGE stage graph and the rewrite
   # each brownout rung applies; the naive plan must not judge answers.

@@ -153,6 +153,9 @@ e=$(ext sage rand criterion sage_bench)
 "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name executor_overhead crates/bench/benches/executor_overhead.rs \
   -o "$OUT/bench_executor_overhead" $e 2>&1 | head -60
 [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: executor_overhead bench"; fail=1; }
+"$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name update_throughput crates/bench/benches/update_throughput.rs \
+  -o "$OUT/bench_update_throughput" $e 2>&1 | head -60
+[ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: update_throughput bench"; fail=1; }
 
 if [ "$MODE" = test ] || [ "$MODE" = clippy ]; then
   for t in tests/end_to_end.rs tests/robustness.rs tests/properties.rs tests/static_analysis.rs; do

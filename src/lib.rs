@@ -90,14 +90,18 @@ pub mod prelude {
     pub use sage_core::config::{RetrieverKind, SageConfig};
     pub use sage_core::exec::{QueryPlan, RerankMode, SelectMode, StageOp};
     pub use sage_core::experiment::{evaluate, MethodScores};
+    pub use sage_core::live::{
+        run_live_soak, CorpusWriter, LiveConfig, LiveOp, LiveRetrieverKind, LiveSnapshot,
+        LiveSoakConfig, LiveSoakReport,
+    };
     pub use sage_core::models::{TrainBudget, TrainedModels};
     pub use sage_core::pipeline::{BuildStats, QueryResult, RagSystem};
     pub use sage_core::resilience::ResilienceConfig;
     pub use sage_core::soak::{run_soak, SoakReport};
     pub use sage_corpus::datasets::SizeConfig;
     pub use sage_resilience::{
-        BreakerConfig, Component, DegradeTrace, Fallback, FaultKind, FaultPlan, Rates,
-        RetryPolicy, SageError,
+        BreakerConfig, Component, CrashPlan, CrashPoint, DegradeTrace, Fallback, FaultKind,
+        FaultPlan, Rates, RetryPolicy, SageError,
     };
     pub use sage_corpus::{Dataset, Document, QaItem, QaTask, QuestionKind};
     pub use sage_eval::{bleu, cost_efficiency, f1_match, meteor, rouge_l, Cost, PriceTable};
@@ -106,5 +110,5 @@ pub mod prelude {
     pub use sage_retrieval::{Bm25Retriever, DenseRetriever, Retriever};
     pub use sage_segment::{SegmentationModel, Segmenter, SemanticSegmenter, SentenceSegmenter};
     pub use sage_telemetry::{HistogramSnapshot, Stage, Telemetry};
-    pub use sage_vecdb::{FlatIndex, HnswIndex, IvfIndex, VectorIndex};
+    pub use sage_vecdb::{FlatIndex, HnswIndex, IvfIndex, MutableIndex, VectorIndex};
 }

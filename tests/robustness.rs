@@ -569,3 +569,96 @@ fn answer_batch_matches_serial() {
     }
     assert!(system.answer_batch(&[], 4).is_empty());
 }
+
+// ---------------------------------------------------------------------------
+// Live corpus: torn and orphaned files are discarded, never served
+// ---------------------------------------------------------------------------
+
+mod live_corpus {
+    use sage::core::live::{run_live_soak, CorpusWriter, LiveConfig, LiveError, LiveOp, LiveSoakConfig};
+    use sage::resilience::{CrashPlan, CrashPoint};
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sage_robust_live_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn uncommitted_segment_is_never_served() {
+        let dir = scratch("uncommitted");
+        let cfg = LiveConfig::default();
+        let (mut w, _) = CorpusWriter::open(&dir, cfg).unwrap();
+        w.commit(&[LiveOp::Upsert {
+            doc_id: "keep".into(),
+            text: "The committed document mentions zanzibar once.".into(),
+        }])
+        .unwrap();
+        drop(w);
+
+        // A crash after the segment rename but before the manifest commit:
+        // the segment file is durable, but the epoch never committed.
+        let plan = CrashPlan::always(CrashPoint::PreManifest);
+        let (mut w, _) = CorpusWriter::open_with_crash_plan(&dir, cfg, plan).unwrap();
+        let crashed = w.commit(&[LiveOp::Upsert {
+            doc_id: "ghost".into(),
+            text: "The ghost document mentions quixotic plans.".into(),
+        }]);
+        assert!(matches!(crashed, Err(LiveError::CrashInjected(CrashPoint::PreManifest))));
+        drop(w);
+
+        let (w, rec) = CorpusWriter::open(&dir, cfg).unwrap();
+        assert_eq!(rec.epoch, 1);
+        assert_eq!(rec.orphans_discarded, 1, "the unmanifested segment must be discarded");
+        let snap = w.snapshot();
+        assert!(snap.doc_fingerprint("ghost").is_none(), "uncommitted doc must not exist");
+        assert!(snap.search("zanzibar", 3).iter().any(|h| h.doc_id == "keep"));
+        // Dense search returns the nearest *committed* chunks for any query;
+        // the uncommitted document must never be among them.
+        assert!(snap.search("quixotic plans", 3).iter().all(|h| h.doc_id != "ghost"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_strays_are_swept_without_breaking_recovery() {
+        let dir = scratch("garbage");
+        let cfg = LiveConfig::default();
+        let (mut w, _) = CorpusWriter::open(&dir, cfg).unwrap();
+        w.commit(&[LiveOp::Upsert {
+            doc_id: "doc".into(),
+            text: "A perfectly healthy committed document.".into(),
+        }])
+        .unwrap();
+        let digest = w.digest();
+        drop(w);
+        // Strays a real crash could leave: a torn tmp and unknown segments.
+        std::fs::write(dir.join("seg-000002.sageseg.tmp"), b"half a write").unwrap();
+        std::fs::write(dir.join("seg-000099.sageseg"), b"\x00\xFF garbage").unwrap();
+        std::fs::write(dir.join("MANIFEST.sageman.tmp"), b"torn manifest rewrite").unwrap();
+        let (w, rec) = CorpusWriter::open(&dir, cfg).unwrap();
+        assert_eq!(rec.epoch, 1);
+        assert_eq!(rec.orphans_discarded, 3);
+        assert_eq!(w.digest(), digest, "strays must not perturb recovered state");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn soak_under_fault_plan_replays_byte_for_byte_with_zero_violations() {
+        let (a, b) = (scratch("soak_a"), scratch("soak_b"));
+        let cfg = LiveSoakConfig {
+            commits: 10,
+            crash: CrashPlan::seeded(3)
+                .with(CrashPoint::PreRename, 0.3)
+                .with(CrashPoint::PreManifest, 0.2),
+            ..LiveSoakConfig::default()
+        };
+        let ra = run_live_soak(&a, &cfg).expect("soak a");
+        let rb = run_live_soak(&b, &cfg).expect("soak b");
+        assert_eq!(ra.violations, Vec::<String>::new());
+        assert_eq!(ra.log, rb.log, "same seeds must replay byte-for-byte");
+        assert_eq!(ra.final_digest, rb.final_digest);
+        assert!(ra.crashes_injected > 0 && ra.recoveries == ra.crashes_injected);
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::remove_dir_all(&b).ok();
+    }
+}

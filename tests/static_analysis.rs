@@ -1,10 +1,10 @@
 //! Tier-1 gate: the workspace must be clean under `sage-lint`.
 //!
 //! This is the same analysis `sage-cli lint` and `scripts/check.sh` run —
-//! seven rules (no-print, no-panic-serving, deterministic-iteration,
-//! no-wallclock, layering, relaxed-atomics-confined) over every crate,
-//! with suppressions requiring an inline justification (DESIGN.md §Static
-//! analysis).
+//! eight rules (no-print, no-panic-serving, deterministic-iteration,
+//! no-wallclock, layering, relaxed-atomics-confined, unwind-boundary,
+//! mutation-behind-writer) over every crate, with suppressions requiring
+//! an inline justification (DESIGN.md §Static analysis).
 
 use sage::lint::{render_human, workspace_report};
 use std::path::Path;
