@@ -1,0 +1,110 @@
+//! Flight-recorder overhead: what always-on capture costs the soak path.
+//!
+//! Two cells replay the identical seeded soak against the same built
+//! system:
+//! - `recorder_off` — no recorder attached; the per-query observation
+//!   stream still goes to the report, but the capture call short-circuits
+//!   on a `None` check.
+//! - `recorder_on` — a bounded [`FlightRecorder`] attached; every
+//!   terminal event is copied into the recycling ring with tail-based
+//!   retention tiers.
+//!
+//! Acceptance targets, asserted directly after the Criterion cells:
+//! the attached run's event log must be byte-identical to the detached
+//! run (the recorder observes, never perturbs), and the measured
+//! overhead must stay under 5%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sage::corpus::datasets::{quality, SizeConfig};
+use sage::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn soak_cfg() -> SoakConfig {
+    SoakConfig {
+        seed: 0xF117,
+        duration: std::time::Duration::from_secs(20),
+        qps: 3.0,
+        capacity: 6,
+        concurrency: 2,
+        ..SoakConfig::default()
+    }
+}
+
+fn build_inputs() -> (RagSystem, Vec<String>) {
+    let ds = quality::generate(SizeConfig { num_docs: 2, questions_per_doc: 4, seed: 0xF117 });
+    let corpus: Vec<String> = ds.documents.iter().map(|d| d.text()).collect();
+    let questions: Vec<String> = ds.tasks.iter().map(|t| t.item.question.clone()).collect();
+    let system = RagSystem::build(
+        sage_bench::models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &corpus,
+    );
+    (system, questions)
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    let (plain, questions) = build_inputs();
+    let (mut recorded, _) = build_inputs();
+    recorded.enable_recorder(RecorderConfig::default());
+    let cfg = soak_cfg();
+
+    let mut group = c.benchmark_group("recorder_overhead");
+    group.bench_function("recorder_off", |b| {
+        b.iter(|| black_box(run_soak(&plain, &questions, &cfg)))
+    });
+    group.bench_function("recorder_on", |b| {
+        b.iter(|| black_box(run_soak(&recorded, &questions, &cfg)))
+    });
+    group.finish();
+
+    // The recorder observes, never perturbs: byte-identical logs.
+    let detached = run_soak(&plain, &questions, &cfg);
+    let attached = run_soak(&recorded, &questions, &cfg);
+    assert_eq!(
+        detached.log, attached.log,
+        "attaching the flight recorder changed the soak event log"
+    );
+    assert_eq!(detached.obs, attached.obs, "observation stream diverged under the recorder");
+
+    // Direct overhead readout for the acceptance target.
+    let time = |system: &RagSystem| {
+        let rounds = 6;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(run_soak(system, &questions, &cfg));
+        }
+        start.elapsed().as_secs_f64() / rounds as f64
+    };
+    time(&plain);
+    time(&recorded);
+    let base = time(&plain);
+    let with_rec = time(&recorded);
+    let overhead = 100.0 * (with_rec - base) / base;
+    let stats = recorded.recorder_stats().expect("recorder attached");
+    println!(
+        "\n=== recorder overhead ===\nrecorder off  {:.3} ms/soak\nrecorder on   {:.3} ms/soak\noverhead      {overhead:+.2}% (target < 5%)",
+        1e3 * base,
+        1e3 * with_rec,
+    );
+    println!(
+        "captured {} | evicted {} | recycled {} | windows sealed {}",
+        stats.captured, stats.evicted, stats.recycled, stats.windows_sealed
+    );
+    assert!(
+        overhead < 5.0,
+        "flight recorder costs {overhead:.2}% on the soak path (target < 5%)"
+    );
+}
+
+criterion_group! {
+    name = recorder_overhead;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_recorder
+}
+criterion_main!(recorder_overhead);

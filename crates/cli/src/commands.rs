@@ -392,6 +392,9 @@ pub fn soak(flags: &Flags) -> Result<(), String> {
 
     let max_shed: f64 = flags.get_parse("max-shed-rate", 0.9f64)?;
     let violations = report.check_invariants(&cfg, max_shed);
+    // One machine-readable summary line closes the stdout stream; it is a
+    // pure function of the report, so diffing two runs still works.
+    println!("{}", report.json_summary(&violations));
     if violations.is_empty() {
         Ok(())
     } else {
@@ -441,6 +444,7 @@ fn live_soak(flags: &Flags) -> Result<(), String> {
     );
     let report = run_live_soak(&dir, &cfg).map_err(|e| format!("live soak failed: {e}"))?;
     print!("{}", report.log);
+    println!("{}", report.json_summary());
     eprintln!("{}", report.summary());
     if report.violations.is_empty() {
         Ok(())
@@ -519,6 +523,269 @@ pub fn explain(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `sage top --from <metrics>` — summarize a Prometheus text dump (as
+/// written by `--metrics-out`) into a one-screen serving dashboard:
+/// query/stage latency quantiles, shed and brownout pressure, cost.
+pub fn top(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .require("from")
+        .map_err(|_| "sage top needs --from <metrics-file> (see --metrics-out)".to_string())?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read metrics file {path}: {e}"))?;
+    let scrape = sage::obs::parse_scrape(&text);
+    print!("{}", sage::obs::dashboard(&scrape));
+    Ok(())
+}
+
+/// `sage report` — run a recorded soak and emit one diagnostics bundle:
+/// the flight-recorder tail, the SLO burn-rate report, the telemetry
+/// histograms and cost ledger, and a reconciliation section proving the
+/// layers agree (recorder captures vs the observation stream, SLO shed /
+/// brownout counts vs the admission counters, ledger tokens vs per-query
+/// observations). The bundle is one JSON object on stdout (or `--out`).
+pub fn report(flags: &Flags) -> Result<(), String> {
+    let docs: usize = flags.get_parse("docs", 2usize)?;
+    let seed: u64 = flags.get_parse("seed", 42u64)?;
+    let dataset = quality::generate(SizeConfig { num_docs: docs.max(1), questions_per_doc: 4, seed });
+    let corpus: Vec<String> = dataset.documents.iter().map(|d| d.text()).collect();
+    let questions: Vec<String> = dataset.tasks.iter().map(|t| t.item.question.clone()).collect();
+
+    let deadline_ms: u64 = flags.get_parse("deadline-ms", 8_000u64)?;
+    let token_budget: u64 = flags.get_parse("token-budget", 50_000u64)?;
+    let cfg = SoakConfig {
+        seed,
+        duration: std::time::Duration::from_secs_f64(flags.get_parse("duration", 30.0f64)?),
+        qps: flags.get_parse("qps", 4.0f64)?,
+        capacity: flags.get_parse("capacity", 8usize)?,
+        concurrency: flags.get_parse("concurrency", 2usize)?,
+        budget: Some(QueryBudget::new(std::time::Duration::from_millis(deadline_ms), token_budget)),
+        ..SoakConfig::default()
+    };
+    let slo_spec = match flags.get("slo") {
+        Some(spec) if !spec.is_empty() => {
+            SloSpec::parse(spec).map_err(|e| format!("bad --slo spec: {e}"))?
+        }
+        _ => SloSpec::default(),
+    };
+    let recorder_cfg = RecorderConfig {
+        capacity: flags.get_parse("recorder-capacity", RecorderConfig::default().capacity)?,
+        ..RecorderConfig::default()
+    };
+
+    let retriever = parse_retriever(flags.get_or("retriever", "openai"))?;
+    let profile = parse_llm(flags.get_or("llm", "gpt4o-mini"))?;
+    let mut system =
+        RagSystem::build(resolve_models(flags)?, retriever, SageConfig::sage(), profile, &corpus);
+    let hub = system.enable_telemetry();
+    system.enable_recorder(recorder_cfg);
+
+    // The shed/brownout counters are process-global; reconcile against
+    // this run's deltas, not absolute values.
+    use sage::telemetry::metrics::{BROWNOUT_TOTAL, SHED_TOTAL};
+    let shed0: Vec<u64> = (0..Priority::COUNT).map(|i| SHED_TOTAL.get(i)).collect();
+    let brownout0 = BROWNOUT_TOTAL.total();
+
+    eprintln!(
+        "report: seed {} | {:.0?} virtual @ {} qps | recorder capacity {}",
+        cfg.seed, cfg.duration, cfg.qps, recorder_cfg.capacity
+    );
+    let soak = run_soak(&system, &questions, &cfg);
+    let slo = sage::obs::evaluate_slo(&slo_spec, &soak.obs);
+    if let Some(t) = slo.alert_trace() {
+        // Alert history travels with the trace stream.
+        hub.push_trace(t);
+    }
+
+    let shed_delta: Vec<u64> =
+        (0..Priority::COUNT).map(|i| SHED_TOTAL.get(i) - shed0[i]).collect();
+    let brownout_delta = BROWNOUT_TOTAL.total() - brownout0;
+    let stats = system.recorder_stats().ok_or("recorder detached mid-run")?;
+    let flagged_total = soak.obs.iter().filter(|o| o.flagged()).count();
+    let flagged_retained = system
+        .with_recorder(|r| r.records().iter().filter(|rec| rec.obs.flagged()).count())
+        .unwrap_or(0);
+    let brownout_steps: u64 =
+        soak.obs.iter().filter(|o| o.outcome == sage::obs::Outcome::Done).map(|o| u64::from(o.brownout)).sum();
+    let obs_tokens: u64 = soak.obs.iter().map(|o| o.tokens).sum();
+    let ledger = hub.ledger().total();
+    let reconciliation = sage::obs::Reconciliation {
+        recorder_captures_match: stats.captured == soak.obs.len() as u64,
+        flagged_retained: flagged_retained == flagged_total.min(recorder_cfg.capacity),
+        shed_counters_match: shed_delta.iter().sum::<u64>() == soak.shed_total()
+            && slo.shed_seen == soak.shed_total() + soak.expired as u64,
+        brownout_counters_match: brownout_delta == brownout_steps
+            && slo.browned_out_seen == soak.browned_out(),
+        ledger_tokens_match: ledger.total_tokens() == obs_tokens,
+    };
+
+    let mut bundle = sage::obs::Bundle::new();
+    bundle.push_raw(
+        "run",
+        format!(
+            "{{\"seed\": {}, \"qps\": {}, \"duration_s\": {}, \"capacity\": {}, \
+             \"concurrency\": {}, \"deadline_ms\": {deadline_ms}, \"docs\": {docs}}}",
+            cfg.seed,
+            cfg.qps,
+            cfg.duration.as_secs(),
+            cfg.capacity,
+            cfg.concurrency
+        ),
+    );
+    bundle.push_raw("soak", soak.json_summary(&soak.check_invariants(&cfg, 1.0)));
+    bundle.push_u64("recorder_captured", stats.captured);
+    bundle.push_u64("recorder_evicted", stats.evicted);
+    bundle.push_u64("recorder_recycled", stats.recycled);
+    bundle.push_u64("recorder_windows_sealed", stats.windows_sealed);
+    bundle.push_jsonl("recorder_tail", &system.recorder_jsonl().unwrap_or_default());
+    bundle.push_str("slo_summary", &slo.summary());
+    bundle.push_raw(
+        "slo_alerts",
+        format!(
+            "[{}]",
+            slo.alerts
+                .iter()
+                .map(|a| format!(
+                    "{{\"at_us\": {}, \"objective\": \"{}\", \"short_burn\": {:.4}, \
+                     \"long_burn\": {:.4}}}",
+                    a.at_us,
+                    a.objective.label(),
+                    a.short_burn,
+                    a.long_burn
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    );
+    bundle.push_histogram("query_latency_ns", &hub.query_snapshot());
+    bundle.push_u64("ledger_calls", ledger.calls);
+    bundle.push_u64("ledger_tokens", ledger.total_tokens());
+    bundle.push_raw("reconciliation", reconciliation.to_json());
+    let rendered = bundle.render();
+
+    match flags.get("out").filter(|p| !p.is_empty()) {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write bundle to {path}: {e}"))?;
+            eprintln!("wrote diagnostics bundle -> {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    if let Some(path) = flags.get("metrics-out").filter(|p| !p.is_empty()) {
+        let prices = sage::telemetry::export::Prices {
+            input_per_token: profile.prices.input_per_token,
+            output_per_token: profile.prices.output_per_token,
+        };
+        let mut text = sage::telemetry::export::prometheus(&hub, Some(prices));
+        text.push_str(&slo.gauges());
+        std::fs::write(path, text).map_err(|e| format!("cannot write metrics file {path}: {e}"))?;
+        eprintln!("wrote metrics (with SLO gauges) -> {path}");
+    }
+    eprint!("{}", slo.summary());
+    if !reconciliation.clean() {
+        return Err(format!("report reconciliation failed: {}", reconciliation.to_json()));
+    }
+    if slo.alerting() && flags.has("strict-slo") {
+        return Err(format!("{} SLO burn alert(s) fired", slo.alerts.len()));
+    }
+    Ok(())
+}
+
+/// `sage scenarios run <grid.toml>` — execute a declarative scenario
+/// matrix and diff the measured rows against a committed baseline under
+/// per-metric tolerance bands. Exits nonzero on regression. `--update`
+/// (or a missing baseline) rewrites the baseline instead of diffing.
+pub fn scenarios(flags: &Flags) -> Result<(), String> {
+    let file = flags
+        .require("file")
+        .map_err(|_| "usage: sage scenarios run <scenarios.toml> [--baseline F] [--filter S] [--update]".to_string())?;
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read scenario grid {file}: {e}"))?;
+    let grid = parse_scenarios(&text).map_err(|e| format!("{file}: {e}"))?;
+    let filter = flags.get("filter").filter(|f| !f.is_empty());
+    let cells: Vec<&ScenarioCell> = grid
+        .cells
+        .iter()
+        .filter(|c| filter.is_none_or(|f| c.name.contains(f)))
+        .collect();
+    if cells.is_empty() {
+        return Err(match filter {
+            Some(f) => format!("no cell in {file} matches --filter {f}"),
+            None => format!("{file} defines no cells"),
+        });
+    }
+
+    let models = resolve_models(flags)?;
+    let mut rows = Vec::new();
+    for cell in &cells {
+        eprintln!(
+            "scenario {}: {} x{} | {} | faults `{}` | {}s @ {} qps",
+            cell.name, cell.dataset, cell.docs, cell.retriever, cell.faults, cell.duration_s,
+            cell.qps
+        );
+        rows.push(run_cell(models, cell)?);
+    }
+    let rendered = sage::obs::render_rows(&rows);
+    if let Some(path) = flags.get("out").filter(|p| !p.is_empty()) {
+        std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote measured rows -> {path}");
+    } else {
+        print!("{rendered}");
+    }
+    if let Some(path) = flags.get("metrics-out").filter(|p| !p.is_empty()) {
+        let mut text = String::from(
+            "# HELP sage_scenario_value Scenario-matrix measured metrics\n# TYPE sage_scenario_value gauge\n",
+        );
+        for row in &rows {
+            let cell_label = sage::telemetry::export::escape_label_value(&row.name);
+            for (metric, value) in &row.metrics {
+                text.push_str(&format!(
+                    "sage_scenario_value{{cell=\"{cell_label}\",metric=\"{}\"}} {value}\n",
+                    sage::telemetry::export::escape_label_value(metric)
+                ));
+            }
+        }
+        std::fs::write(path, text).map_err(|e| format!("cannot write metrics file {path}: {e}"))?;
+        eprintln!("wrote scenario gauges -> {path}");
+    }
+
+    let baseline_path = flags.get_or("baseline", "BENCH_scenarios.json");
+    let bootstrap = !std::path::Path::new(baseline_path).exists();
+    if flags.has("update") || bootstrap {
+        if filter.is_some() {
+            return Err("refusing to write a filtered run as the baseline (drop --filter)".to_string());
+        }
+        std::fs::write(baseline_path, &rendered)
+            .map_err(|e| format!("cannot write baseline {baseline_path}: {e}"))?;
+        eprintln!(
+            "{} baseline {baseline_path} ({} cell(s))",
+            if bootstrap { "bootstrapped" } else { "updated" },
+            rows.len()
+        );
+        return Ok(());
+    }
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline =
+        sage::obs::parse_rows(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let diffs = sage::obs::diff_rows(&baseline, &rows, &grid.tolerance, filter.is_some());
+    if diffs.is_empty() {
+        eprintln!(
+            "scenarios: {} cell(s) within tolerance of {baseline_path}",
+            rows.len()
+        );
+        Ok(())
+    } else {
+        for line in &diffs {
+            eprintln!("regression: {line}");
+        }
+        Err(format!(
+            "{} metric(s) outside the committed trajectory in {baseline_path} \
+             (re-baseline with --update if intentional)",
+            diffs.len()
+        ))
+    }
+}
+
 /// Print usage.
 pub fn print_help() {
     println!(
@@ -546,6 +813,12 @@ USAGE:
   sage explain [\"question\"] [--retriever R] [--naive]
                # print the resolved query plan: stages, middleware order,
                # and the rewrite each brownout rung applies
+  sage top     --from <metrics>           # dashboard over a Prometheus dump
+  sage report  [--seed 42] [--qps 4] [--duration 30] [--docs N]
+               [--slo <spec>] [--recorder-capacity 256] [--out <bundle>]
+               [--metrics-out <path>] [--strict-slo]
+  sage scenarios run <grid.toml> [--baseline <path>] [--filter <substr>]
+               [--update] [--out <path>] [--metrics-out <path>]
   sage demo
   sage help
 
@@ -603,11 +876,33 @@ LIVE SOAK:
   (recovery, snapshot isolation, hit validity, sublinear updates) is
   violated.
 
+OBSERVABILITY:
+  sage report runs a recorded soak and emits one diagnostics bundle
+  (JSON): the flight recorder's tail-retained query records, the SLO
+  burn-rate report, latency histograms and the cost ledger, plus a
+  reconciliation section proving the layers agree. --slo takes a
+  declarative spec, e.g. \"latency_ms=250,shed_rate=0.2,burn=2\"
+  (keys: latency_ms|interactive_ms|shed_rate|brownout_rung|
+  min_confidence|short_s|long_s|burn|budget; value `off` disables an
+  objective). --metrics-out appends SLO burn gauges to the Prometheus
+  dump; sage top --from <that file> renders the dashboard.
+
+SCENARIOS:
+  sage scenarios run <grid.toml> executes a declarative matrix of
+  dataset x retriever x fault-plan x budget x load-shape cells
+  ([defaults] / [[cell]] / [tolerance] sections) through the soak and
+  eval machinery, renders one metrics row per cell, and diffs the rows
+  against a committed baseline (default BENCH_scenarios.json) under
+  per-metric relative tolerance bands. Exits nonzero on regression;
+  --update (or a missing baseline) rewrites the baseline. Rows are
+  virtual-clock quantities: same grid, same bytes.
+
 LINT:
   sage lint walks src/ and crates/*/src/ under --root (default: the
   current directory) and enforces the workspace invariants: no-print,
   no-panic-serving, deterministic-iteration, no-wallclock, layering,
-  relaxed-atomics-confined, unwind-boundary, mutation-behind-writer.
+  relaxed-atomics-confined, unwind-boundary, mutation-behind-writer,
+  recorder-behind-obs.
   Suppressions are inline
   comment markers carrying a justification (see DESIGN.md). --json
   emits one JSON

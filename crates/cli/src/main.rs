@@ -14,6 +14,11 @@
 //!              [--faults SPEC] [--fault-seed N] [--max-shed-rate 0.9]
 //! sage lint    [--root PATH] [--json]
 //! sage explain ["question"] [--retriever R] [--naive]
+//! sage top     --from metrics.prom
+//! sage report  [--seed 42] [--qps 4] [--duration 30] [--slo SPEC]
+//!              [--out bundle.json] [--metrics-out F] [--strict-slo]
+//! sage scenarios run scenarios.toml [--baseline F] [--filter S] [--update]
+//!              [--out F] [--metrics-out F]
 //! sage demo
 //! sage help
 //! ```
@@ -40,6 +45,16 @@ fn main() -> ExitCode {
             rest.splice(0..1, ["--question".to_string(), first]);
         }
     }
+    // `sage scenarios run <grid.toml>` reads naturally; the `run` verb is
+    // optional and the grid path becomes the uniform `--file` flag.
+    if command == "scenarios" {
+        if rest.first().is_some_and(|a| a == "run") {
+            rest.remove(0);
+        }
+        if let Some(first) = rest.first().filter(|a| !a.starts_with("--")).cloned() {
+            rest.splice(0..1, ["--file".to_string(), first]);
+        }
+    }
     let parsed = match args::parse_flags(&rest) {
         Ok(p) => p,
         Err(e) => {
@@ -56,6 +71,9 @@ fn main() -> ExitCode {
         "index" => commands::index(&parsed),
         "query" => commands::query(&parsed),
         "soak" => commands::soak(&parsed),
+        "top" => commands::top(&parsed),
+        "report" => commands::report(&parsed),
+        "scenarios" => commands::scenarios(&parsed),
         "lint" => commands::lint(&parsed),
         "demo" => commands::demo(),
         "help" | "--help" | "-h" => {

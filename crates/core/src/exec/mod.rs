@@ -139,6 +139,10 @@ fn finalize(sys: &RagSystem, mut ctx: QueryCtx<'_>, total: Duration) -> QueryRes
         hub.record_query(total);
         hub.push_trace(t);
     }
+    // Flight-recorder hook: one ad-hoc observation per query when a
+    // recorder is attached (suppressed while an external driver like the
+    // soak loop supplies its own, richer observations).
+    crate::obs::observe_adhoc(sys, ctx.question, &result);
     result
 }
 

@@ -46,12 +46,14 @@ pub mod fsx;
 pub mod live;
 pub mod models;
 pub mod multihop;
+pub mod obs;
 pub mod persist;
 pub mod pipeline;
 pub mod resilience;
 mod result;
 mod retriever;
 pub mod scalability;
+pub mod scenario;
 pub mod soak;
 
 pub use config::{RetrieverKind, SageConfig};

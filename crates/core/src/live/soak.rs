@@ -108,6 +108,28 @@ impl LiveSoakReport {
             if self.gave_up { " (gave up: crash plan never passes)" } else { "" }
         )
     }
+
+    /// One-line machine-readable summary for the scenario harness and CI
+    /// (deterministic: every field replays bit-for-bit under a fixed
+    /// seed).
+    pub fn json_summary(&self) -> String {
+        let mut out = String::from("{\"tool\": \"soak-live\"");
+        out.push_str(&format!(", \"commits\": {}", self.commits));
+        out.push_str(&format!(", \"crashes_injected\": {}", self.crashes_injected));
+        out.push_str(&format!(", \"recoveries\": {}", self.recoveries));
+        out.push_str(&format!(", \"gave_up\": {}", self.gave_up));
+        out.push_str(&format!(", \"final_epoch\": {}", self.final_epoch));
+        out.push_str(&format!(", \"final_digest\": \"{:#018x}\"", self.final_digest));
+        out.push_str(", \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            sage_telemetry::span::write_json_str(v, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// Seeded word pools for generated document text and queries. Drawn by

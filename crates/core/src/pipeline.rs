@@ -47,6 +47,9 @@ pub struct RagSystem {
     /// stay deterministic, and the critical section is a few arithmetic
     /// ops.
     pub(crate) admission: Option<Mutex<AdmissionQueue>>,
+    /// Runtime-only flight recorder state (see `crate::obs`); `None`
+    /// records nothing.
+    pub(crate) obs: Option<crate::obs::ObsState>,
 }
 
 impl RagSystem {
@@ -124,6 +127,7 @@ impl RagSystem {
             resilience: None,
             telemetry: None,
             admission: None,
+            obs: None,
         }
     }
 
@@ -340,6 +344,7 @@ impl RagSystem {
             resilience: None,
             telemetry: None,
             admission: None,
+            obs: None,
         }
     }
 

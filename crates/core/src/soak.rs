@@ -19,6 +19,7 @@ use sage_admission::{
     arrival_plan, AdmissionConfig, AdmissionQueue, Decision, Priority, QueryBudget, ShedReason,
     SoakConfig,
 };
+use sage_obs::{Outcome, QueryObs};
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -59,6 +60,11 @@ pub struct SoakReport {
     pub max_depth: usize,
     /// Deterministic event log, one line per arrival/start/finish.
     pub log: Vec<String>,
+    /// Per-query observations in terminal-event order (shed, expiry,
+    /// completion, error) — the stream the flight recorder and the SLO
+    /// accounting consume. Virtual quantities only, so it replays
+    /// bit-for-bit like the log.
+    pub obs: Vec<QueryObs>,
 }
 
 impl SoakReport {
@@ -147,6 +153,46 @@ impl SoakReport {
         ));
         out
     }
+
+    /// One-line machine-readable summary (virtual quantities only, so it
+    /// is byte-identical across same-seed replays). The scenario harness
+    /// and CI parse this instead of scraping the human summary;
+    /// `violations` is whatever [`SoakReport::check_invariants`] returned.
+    pub fn json_summary(&self, violations: &[String]) -> String {
+        let mut out = String::from("{\"tool\": \"soak\"");
+        out.push_str(&format!(", \"arrivals\": {}", self.arrivals));
+        out.push_str(&format!(", \"admitted\": {}", self.admitted));
+        out.push_str(&format!(
+            ", \"shed\": {{\"interactive\": {}, \"batch\": {}, \"background\": {}, \"total\": {}}}",
+            self.shed[0],
+            self.shed[1],
+            self.shed[2],
+            self.shed_total()
+        ));
+        out.push_str(&format!(", \"expired\": {}", self.expired));
+        out.push_str(&format!(", \"completed\": {}", self.completed));
+        out.push_str(&format!(", \"errors\": {}", self.errors));
+        out.push_str(&format!(", \"panics\": {}", self.panics));
+        out.push_str(&format!(
+            ", \"brownout\": [{}, {}, {}, {}, {}]",
+            self.brownout[0], self.brownout[1], self.brownout[2], self.brownout[3],
+            self.brownout[4]
+        ));
+        out.push_str(&format!(", \"browned_out\": {}", self.browned_out()));
+        out.push_str(&format!(", \"ladder_violations\": {}", self.ladder_violations));
+        out.push_str(&format!(", \"p50_sojourn_us\": {}", self.p50_sojourn.as_micros()));
+        out.push_str(&format!(", \"p99_sojourn_us\": {}", self.p99_sojourn.as_micros()));
+        out.push_str(&format!(", \"max_depth\": {}", self.max_depth));
+        out.push_str(", \"violations\": [");
+        for (i, v) in violations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            sage_telemetry::span::write_json_str(v, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// One admitted query waiting for a virtual server.
@@ -185,6 +231,7 @@ pub fn run_soak(sys: &RagSystem, questions: &[String], cfg: &SoakConfig) -> Soak
         p99_sojourn: Duration::ZERO,
         max_depth: 0,
         log: Vec::new(),
+        obs: Vec::new(),
     };
     if questions.is_empty() || plan.is_empty() {
         return report;
@@ -210,12 +257,17 @@ pub fn run_soak(sys: &RagSystem, questions: &[String], cfg: &SoakConfig) -> Soak
         report: &mut report,
     };
 
+    // The soak loop owns observation while it runs: the executor's ad-hoc
+    // recorder hook is suppressed and every terminal event below feeds the
+    // recorder (when attached) with full arrival/class/deadline context.
+    crate::obs::set_driven(sys, true);
     for (seq, arrival) in plan.iter().enumerate() {
         state.dispatch_until(arrival.at);
         state.offer(seq, arrival.at, arrival.class);
     }
     // Drain: virtual time runs on until every queued job started.
     state.dispatch_until(Duration::MAX);
+    crate::obs::set_driven(sys, false);
 
     sojourns.sort_unstable();
     if !sojourns.is_empty() {
@@ -239,6 +291,13 @@ struct SimState<'a> {
 }
 
 impl SimState<'_> {
+    /// Record one terminal observation: into the report's stream always,
+    /// and into the system's flight recorder when one is attached.
+    fn record_obs(&mut self, o: QueryObs) {
+        crate::obs::observe(self.sys, &o);
+        self.report.obs.push(o);
+    }
+
     /// Offer one arrival to the admission queue.
     fn offer(&mut self, seq: usize, at: Duration, class: Priority) {
         match self.queue.admit(class) {
@@ -270,6 +329,21 @@ impl SimState<'_> {
                     label,
                     self.queue.depth()
                 ));
+                self.record_obs(QueryObs {
+                    seq: seq as u64,
+                    class: class.label(),
+                    arrival_us: at.as_micros() as u64,
+                    end_us: at.as_micros() as u64,
+                    sojourn_ns: 0,
+                    service_ns: 0,
+                    outcome: Outcome::Shed,
+                    brownout: 0,
+                    degraded: 0,
+                    deadline_missed: false,
+                    tokens: 0,
+                    confidence_milli: 0,
+                    question: label.to_string(),
+                });
             }
         }
     }
@@ -311,6 +385,21 @@ impl SimState<'_> {
                     job.class,
                     fmt_t(wait)
                 ));
+                self.record_obs(QueryObs {
+                    seq: job.seq as u64,
+                    class: job.class.label(),
+                    arrival_us: job.at.as_micros() as u64,
+                    end_us: start.as_micros() as u64,
+                    sojourn_ns: wait.as_nanos() as u64,
+                    service_ns: 0,
+                    outcome: Outcome::Expired,
+                    brownout: 0,
+                    degraded: 0,
+                    deadline_missed: true,
+                    tokens: 0,
+                    confidence_milli: 0,
+                    question: self.questions[job.seq % self.questions.len()].clone(),
+                });
                 return;
             }
         }
@@ -351,9 +440,25 @@ impl SimState<'_> {
                     r.brownout,
                     r.cost.input_tokens + r.cost.output_tokens
                 ));
+                self.record_obs(QueryObs {
+                    seq: job.seq as u64,
+                    class: job.class.label(),
+                    arrival_us: job.at.as_micros() as u64,
+                    end_us: finish.as_micros() as u64,
+                    sojourn_ns: finish.saturating_sub(job.at).as_nanos() as u64,
+                    service_ns: service.as_nanos() as u64,
+                    outcome: Outcome::Done,
+                    brownout: r.brownout.idx() as u8,
+                    degraded: r.degraded.events.len() as u32,
+                    deadline_missed: job.deadline.is_some_and(|d| finish > d),
+                    tokens: r.cost.input_tokens + r.cost.output_tokens,
+                    confidence_milli: crate::obs::confidence_milli(r.answer.confidence),
+                    question: question.clone(),
+                });
             }
             Err(e) => {
-                if matches!(e, sage_resilience::SageError::Panicked { .. }) {
+                let panicked = matches!(e, sage_resilience::SageError::Panicked { .. });
+                if panicked {
                     self.report.panics += 1;
                 } else {
                     self.report.errors += 1;
@@ -365,6 +470,21 @@ impl SimState<'_> {
                     job.class,
                     e
                 ));
+                self.record_obs(QueryObs {
+                    seq: job.seq as u64,
+                    class: job.class.label(),
+                    arrival_us: job.at.as_micros() as u64,
+                    end_us: finish.as_micros() as u64,
+                    sojourn_ns: finish.saturating_sub(job.at).as_nanos() as u64,
+                    service_ns: service.as_nanos() as u64,
+                    outcome: if panicked { Outcome::Panicked } else { Outcome::Error },
+                    brownout: 0,
+                    degraded: 0,
+                    deadline_missed: false,
+                    tokens: 0,
+                    confidence_milli: 0,
+                    question: question.clone(),
+                });
             }
         }
     }
@@ -425,6 +545,35 @@ mod tests {
         assert_eq!(a, b, "same seed must replay identically");
         assert!(a.completed > 0);
         assert!(a.check_invariants(&quick_cfg(), 0.9).is_empty(), "{:?}", a.log);
+    }
+
+    #[test]
+    fn obs_stream_reconciles_with_report_counts() {
+        let sys = system();
+        let cfg = quick_cfg();
+        let r = run_soak(&sys, &questions(), &cfg);
+        let count = |o: Outcome| r.obs.iter().filter(|x| x.outcome == o).count();
+        assert_eq!(count(Outcome::Done), r.completed);
+        assert_eq!(count(Outcome::Shed) as u64, r.shed_total());
+        assert_eq!(count(Outcome::Expired), r.expired);
+        assert_eq!(count(Outcome::Error), r.errors);
+        assert_eq!(count(Outcome::Panicked), r.panics);
+        let js = r.json_summary(&r.check_invariants(&cfg, 0.9));
+        assert!(js.starts_with("{\"tool\": \"soak\""), "{js}");
+        assert!(js.contains("\"violations\": []"), "{js}");
+        assert!(!js.contains('\n'), "summary must be one line");
+    }
+
+    #[test]
+    fn attached_recorder_does_not_change_the_log() {
+        let cfg = quick_cfg();
+        let detached = run_soak(&system(), &questions(), &cfg);
+        let mut sys = system();
+        sys.enable_recorder(sage_obs::RecorderConfig::default());
+        let attached = run_soak(&sys, &questions(), &cfg);
+        assert_eq!(detached.log, attached.log, "recorder must be invisible to the log");
+        let stats = sys.recorder_stats().unwrap();
+        assert_eq!(stats.captured as usize, attached.obs.len());
     }
 
     #[test]

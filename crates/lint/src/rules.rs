@@ -1,4 +1,4 @@
-//! The eight workspace rules, expressed as token-pattern checks.
+//! The nine workspace rules, expressed as token-pattern checks.
 //!
 //! Each check walks the lexed token stream of one file. Tokens inside
 //! test-only regions (`in_test`) are exempt from every rule: tests may
@@ -32,6 +32,12 @@ pub const UNWIND_BOUNDARY: &str = "unwind-boundary";
 /// snapshots; any other call site bypasses the commit protocol and can
 /// serve half-applied state.
 pub const MUTATION_BEHIND_WRITER: &str = "mutation-behind-writer";
+/// Architecture: flight-recorder mutation stays behind the obs layer.
+/// The recorder's capture/eviction surface (`capture_query`,
+/// `capture_shed`, `roll_window`) encodes the tail-based retention
+/// policy; call sites scattered elsewhere could double-count a query or
+/// seal windows off-grid, silently skewing what `sage report` retains.
+pub const RECORDER_BEHIND_OBS: &str = "recorder-behind-obs";
 /// Engine-level rule for malformed or unjustified suppression markers.
 /// Not suppressible and not a valid name inside a marker.
 pub const BAD_ALLOW: &str = "bad-allow";
@@ -46,6 +52,7 @@ pub const ALL_RULES: &[&str] = &[
     RELAXED_ATOMICS,
     UNWIND_BOUNDARY,
     MUTATION_BEHIND_WRITER,
+    RECORDER_BEHIND_OBS,
 ];
 
 /// Crates on the query serving path, where a panic is an outage.
@@ -56,7 +63,7 @@ pub const SERVING_CRATES: &[&str] = &["core", "llm", "retrieval", "vecdb", "rera
 /// start with `sage_` (e.g. a `sage_selected` counter) are not imports.
 pub const WORKSPACE_CRATES: &[&str] = &[
     "text", "nn", "telemetry", "resilience", "lint", "embed", "vecdb", "retrieval",
-    "corpus", "segment", "rerank", "eval", "llm", "core", "admission",
+    "corpus", "segment", "rerank", "eval", "llm", "core", "admission", "obs",
 ];
 
 /// Crates exempt from library rules entirely: binaries own their stdout
@@ -84,10 +91,13 @@ fn base_allowed(crate_key: &str) -> Option<&'static [&'static str]> {
         "llm" => &["text", "eval", "corpus"],
         // Admission control sits on the resilience substrate only.
         "admission" => &["resilience"],
+        // Observability sits on telemetry alone: it consumes observation
+        // streams and scrapes, never the pipeline.
+        "obs" => &["telemetry"],
         // The orchestrator composes everything below it — never lint.
         "core" => &[
             "text", "nn", "embed", "vecdb", "retrieval", "corpus", "segment", "rerank",
-            "eval", "llm", "admission",
+            "eval", "llm", "admission", "obs",
         ],
         // Binaries and the facade are exempt.
         "cli" | "bench" | "sage" => return None,
@@ -242,6 +252,28 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
             ));
         }
 
+        // The recorder's mutation surface lives in sage-obs; sage-core's
+        // obs module (the bridge that owns the attached recorder) is the
+        // only legal non-test caller elsewhere. `use` lines stay exempt
+        // for re-exports.
+        let recorder_home = crate_key == "obs" || file.contains("/obs");
+        if library
+            && !recorder_home
+            && !in_use
+            && matches!(word, "capture_query" | "capture_shed" | "roll_window")
+        {
+            out.push(Violation::new(
+                RECORDER_BEHIND_OBS,
+                file,
+                t.line,
+                format!(
+                    "`{word}` outside the obs layer: flight-recorder capture and \
+                     window sealing encode the retention policy; route observations \
+                     through sage-core's obs bridge"
+                ),
+            ));
+        }
+
         if crate_key == "core" && word == "catch_unwind" && !file.contains("/exec/") {
             out.push(Violation::new(
                 UNWIND_BOUNDARY,
@@ -385,6 +417,36 @@ mod tests {
         // …re-exports and binaries stay legal.
         assert!(run("sage", "pub use sage_vecdb::{MutableIndex, VectorIndex};").is_empty());
         assert!(run("cli", "fn f(m: &mut MutableIndex) { m.tombstone(0); }").is_empty());
+    }
+
+    #[test]
+    fn recorder_surface_confined_to_obs_layer() {
+        let src = "fn f(r: &mut FlightRecorder, o: &QueryObs) { r.capture_query(o); r.roll_window(4); }";
+        // Library code outside the obs layer may not capture…
+        let vs = check_file("llm", "crates/llm/src/reader.rs", &lex(src).tokens);
+        assert_eq!(rules_of(&vs), vec![RECORDER_BEHIND_OBS, RECORDER_BEHIND_OBS]);
+        // …the defining crate implements the surface…
+        assert!(check_file("obs", "crates/obs/src/recorder.rs", &lex(src).tokens).is_empty());
+        // …core's obs bridge owns the attached recorder…
+        assert!(check_file("core", "crates/core/src/obs.rs", &lex(src).tokens).is_empty());
+        // …but the rest of core is fenced out.
+        let shed = "fn g(r: &mut FlightRecorder) { r.capture_shed(0, \"batch\", 1, false, \"full\"); }";
+        assert_eq!(
+            rules_of(&check_file("core", "crates/core/src/soak.rs", &lex(shed).tokens)),
+            vec![RECORDER_BEHIND_OBS]
+        );
+        // Re-exports and binaries stay legal.
+        assert!(run("sage", "pub use sage_obs::{FlightRecorder, RecorderConfig};").is_empty());
+        assert!(run("cli", src).is_empty());
+    }
+
+    #[test]
+    fn obs_layering_sits_on_telemetry_alone() {
+        assert!(run("obs", "use sage_telemetry::export::escape_label_value;").is_empty());
+        assert_eq!(rules_of(&run("obs", "use sage_core::soak::SoakReport;")), vec![LAYERING]);
+        assert!(run("core", "use sage_obs::QueryObs;").is_empty());
+        // Leaves must stay leaves: telemetry cannot grow an obs dependency.
+        assert_eq!(rules_of(&run("telemetry", "use sage_obs::QueryObs;")), vec![LAYERING]);
     }
 
     #[test]

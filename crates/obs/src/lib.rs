@@ -1,0 +1,36 @@
+//! `sage-obs`: the second observability layer, built on `sage-telemetry`.
+//!
+//! Where `sage-telemetry` collects (histograms, counters, traces, the
+//! cost ledger), this crate *interprets*: it keeps the evidence for the
+//! queries that matter (the flight recorder), judges the stream against
+//! declared objectives (SLO burn-rate accounting), and gates changes
+//! against a committed perf trajectory (the scenario-matrix harness).
+//! Everything here is deterministic by construction — retention,
+//! windows, and diffs are pure functions of virtual-clock observations,
+//! so soak replays and CI reruns are byte-comparable.
+//!
+//! - [`recorder`]: bounded, allocation-recycling ring of recent query
+//!   observations with tail-based retention. Mutation is confined to this
+//!   crate by the `recorder-behind-obs` lint rule; `sage-core` exposes a
+//!   single bridge in its `obs` module.
+//! - [`slo`]: declarative SLO specs, multi-window burn-rate alerts.
+//! - [`scenario`]: scenario-file grammar, baseline rendering/parsing,
+//!   tolerance-band regression diffs.
+//! - [`promread`]: read-side of the Prometheus text format + the
+//!   `sage top` dashboard.
+//! - [`bundle`]: `sage report` diagnostics-bundle assembly and the
+//!   cross-layer reconciliation checks.
+
+pub mod bundle;
+pub mod promread;
+pub mod recorder;
+pub mod scenario;
+pub mod slo;
+
+pub use bundle::{Bundle, Reconciliation};
+pub use promread::{dashboard, parse_scrape, Scrape};
+pub use recorder::{FlightRecorder, Outcome, QueryObs, RecorderConfig, RecorderStats};
+pub use scenario::{
+    diff_rows, parse_rows, parse_scenarios, render_rows, BenchRow, ScenarioCell, ScenarioFile,
+};
+pub use slo::{evaluate_slo, Objective, SloAlert, SloReport, SloSpec};

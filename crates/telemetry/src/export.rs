@@ -44,7 +44,13 @@ pub fn prometheus(t: &Telemetry, prices: Option<Prices>) -> String {
     for f in metrics::labeled() {
         push_meta(&mut out, f.name(), "counter", f.help());
         for (label, value) in f.entries() {
-            out.push_str(&format!("{}{{{}=\"{}\"}} {}\n", f.name(), f.key(), label, value));
+            out.push_str(&format!(
+                "{}{{{}=\"{}\"}} {}\n",
+                f.name(),
+                f.key(),
+                escape_label_value(label),
+                value
+            ));
         }
     }
 
@@ -102,25 +108,22 @@ pub fn prometheus(t: &Telemetry, prices: Option<Prices>) -> String {
         );
     }
     for (stage, cost) in t.ledger().active_stages() {
+        let stage_label = escape_label_value(stage.label());
         out.push_str(&format!(
-            "sage_cost_calls_total{{stage=\"{}\"}} {}\n",
-            stage.label(),
+            "sage_cost_calls_total{{stage=\"{stage_label}\"}} {}\n",
             cost.calls
         ));
         out.push_str(&format!(
-            "sage_cost_tokens_total{{stage=\"{}\",direction=\"input\"}} {}\n",
-            stage.label(),
+            "sage_cost_tokens_total{{stage=\"{stage_label}\",direction=\"input\"}} {}\n",
             cost.input_tokens
         ));
         out.push_str(&format!(
-            "sage_cost_tokens_total{{stage=\"{}\",direction=\"output\"}} {}\n",
-            stage.label(),
+            "sage_cost_tokens_total{{stage=\"{stage_label}\",direction=\"output\"}} {}\n",
             cost.output_tokens
         ));
         if let Some(p) = prices {
             out.push_str(&format!(
-                "sage_cost_dollars{{stage=\"{}\"}} {:.9}\n",
-                stage.label(),
+                "sage_cost_dollars{{stage=\"{stage_label}\"}} {:.9}\n",
                 cost.dollars(p.input_per_token, p.output_per_token)
             ));
         }
@@ -153,10 +156,29 @@ fn push_meta(out: &mut String, name: &str, kind: &str, help: &str) {
     out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
 }
 
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline must be backslash-escaped inside
+/// the quoted label value. Every label interpolation in this module (and
+/// in downstream exporters building on it) must pass through here —
+/// today's label values are static idents, but scenario names and other
+/// user-controlled strings also travel this path.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn push_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
     let extra = |more: &str| -> String {
         let mut parts: Vec<String> =
-            labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
         if !more.is_empty() {
             parts.push(more.to_string());
         }
@@ -353,6 +375,25 @@ mod tests {
         assert!(text.contains("sage_cost_tokens_total{stage=\"read\",direction=\"input\"} 200"));
         assert!(text.contains("sage_cost_dollars{stage=\"read\"}"));
         assert!(text.contains("sage_build_segmentation_ns 1000000"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        // Hostile label through a histogram family: the output must stay
+        // one sample per line with a parseable quoted value.
+        let t = Telemetry::new();
+        t.record_query(Duration::from_nanos(100));
+        let mut out = String::new();
+        push_histogram(&mut out, "m", &[("who", "ev\"il\\name\nx")], &t.query_snapshot());
+        for line in out.lines() {
+            assert!(line.contains("who=\"ev\\\"il\\\\name\\nx\""), "{line}");
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().unwrap().is_finite(), "{line}");
+        }
     }
 
     #[test]

@@ -129,6 +129,50 @@ if [ "${1:-}" != fast ]; then
     echo "FAIL: naive plan still judges answers"; exit 1
   fi
   echo "explain smoke ok"
+
+  echo "=== scenario-matrix smoke (committed trajectory holds)"
+  # The smoke cells must replay byte-for-byte and sit inside the
+  # tolerance bands of the committed BENCH_scenarios.json; the command
+  # itself exits nonzero and prints one `regression:` line per metric
+  # outside its band.
+  cargo run -q --release -p sage-cli -- scenarios run scenarios.toml \
+    --filter smoke --out "$tmp/scen_a.json" 2> /dev/null \
+    || { echo "FAIL: smoke cells regressed against BENCH_scenarios.json"; exit 1; }
+  cargo run -q --release -p sage-cli -- scenarios run scenarios.toml \
+    --filter smoke --out "$tmp/scen_b.json" 2> /dev/null
+  cmp -s "$tmp/scen_a.json" "$tmp/scen_b.json" \
+    || { echo "FAIL: scenario rows are not byte-identical across runs"; exit 1; }
+  echo "scenario-matrix smoke ok"
+
+  echo "=== hostile-label smoke (Prometheus escaping)"
+  # A cell name carrying a backslash must round-trip through the metrics
+  # dump as an escaped label value without breaking the exposition
+  # grammar (TOML strings reject embedded quotes, so backslash is the
+  # hostile character a grid can actually smuggle in).
+  cat > "$tmp/hostile.toml" <<'HOSTILE'
+[[cell]]
+name = "smoke\hostile"
+docs = 1
+duration_s = 4
+qps = 2
+HOSTILE
+  cargo run -q --release -p sage-cli -- scenarios run "$tmp/hostile.toml" \
+    --baseline "$tmp/hostile_base.json" --metrics-out "$tmp/hostile.prom" \
+    > /dev/null 2> /dev/null
+  grep -q 'cell="smoke\\\\hostile"' "$tmp/hostile.prom" \
+    || { echo "FAIL: backslash not escaped in label value"; cat "$tmp/hostile.prom"; exit 1; }
+  awk '
+    /^# TYPE / { types++ }
+    /^[a-z]/ {
+      v = $NF
+      if (v !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/) { print "FAIL: non-finite sample: " $0; bad = 1 }
+      if ($0 !~ /^[a-z_]+(\{[a-z_]+="([^"\\]|\\.)*"(,[a-z_]+="([^"\\]|\\.)*")*\})? /) {
+        print "FAIL: malformed series: " $0; bad = 1
+      }
+    }
+    END { if (types == 0) { print "FAIL: no # TYPE lines"; bad = 1 }; exit bad }
+  ' "$tmp/hostile.prom"
+  echo "hostile-label smoke ok"
 fi
 
 echo "=== tier-1 gate OK"

@@ -102,8 +102,9 @@ CRATES=(
   "sage_resilience crates/resilience/src/lib.rs"
   "sage_admission crates/admission/src/lib.rs sage_resilience"
   "sage_lint crates/lint/src/lib.rs"
-  "sage_core crates/core/src/lib.rs bytes sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_llm sage_eval sage_resilience sage_admission sage_telemetry rand serde"
-  "sage src/lib.rs sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_resilience sage_admission sage_telemetry sage_llm sage_eval sage_core sage_lint"
+  "sage_obs crates/obs/src/lib.rs sage_telemetry"
+  "sage_core crates/core/src/lib.rs bytes sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_llm sage_eval sage_resilience sage_admission sage_telemetry sage_obs rand serde"
+  "sage src/lib.rs sage_text sage_nn sage_embed sage_vecdb sage_retrieval sage_corpus sage_segment sage_rerank sage_resilience sage_admission sage_telemetry sage_obs sage_llm sage_eval sage_core sage_lint"
 )
 
 for entry in "${CRATES[@]}"; do
@@ -156,6 +157,9 @@ e=$(ext sage rand criterion sage_bench)
 "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name update_throughput crates/bench/benches/update_throughput.rs \
   -o "$OUT/bench_update_throughput" $e 2>&1 | head -60
 [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: update_throughput bench"; fail=1; }
+"$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name recorder_overhead crates/bench/benches/recorder_overhead.rs \
+  -o "$OUT/bench_recorder_overhead" $e 2>&1 | head -60
+[ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: recorder_overhead bench"; fail=1; }
 
 if [ "$MODE" = test ] || [ "$MODE" = clippy ]; then
   for t in tests/end_to_end.rs tests/robustness.rs tests/properties.rs tests/static_analysis.rs; do

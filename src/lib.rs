@@ -25,6 +25,7 @@
 //! | [`resilience`] | `sage-resilience` | deterministic fault injection, retries, breakers |
 //! | [`admission`] | `sage-admission` | admission control, deadline budgets, brownout ladder |
 //! | [`telemetry`] | `sage-telemetry` | spans, stage histograms, cost ledger, exporters |
+//! | [`obs`] | `sage-obs` | flight recorder, SLO burn rates, scenario-matrix diffing |
 //! | [`lint`] | `sage-lint` | workspace static analysis (determinism/panic/layering rules) |
 //! | [`core`] | `sage-core` | the assembled pipeline, baselines, experiment harnesses |
 //!
@@ -72,6 +73,7 @@ pub use sage_eval as eval;
 pub use sage_lint as lint;
 pub use sage_llm as llm;
 pub use sage_nn as nn;
+pub use sage_obs as obs;
 pub use sage_rerank as rerank;
 pub use sage_resilience as resilience;
 pub use sage_retrieval as retrieval;
@@ -97,8 +99,13 @@ pub mod prelude {
     pub use sage_core::models::{TrainBudget, TrainedModels};
     pub use sage_core::pipeline::{BuildStats, QueryResult, RagSystem};
     pub use sage_core::resilience::ResilienceConfig;
+    pub use sage_core::scenario::run_cell;
     pub use sage_core::soak::{run_soak, SoakReport};
     pub use sage_corpus::datasets::SizeConfig;
+    pub use sage_obs::{
+        diff_rows, evaluate_slo, parse_rows, parse_scenarios, BenchRow, FlightRecorder, Outcome,
+        QueryObs, RecorderConfig, ScenarioCell, ScenarioFile, SloReport, SloSpec,
+    };
     pub use sage_resilience::{
         BreakerConfig, Component, CrashPlan, CrashPoint, DegradeTrace, Fallback, FaultKind,
         FaultPlan, Rates, RetryPolicy, SageError,

@@ -721,3 +721,147 @@ fn live_corpus_metrics_reconcile_with_commit_reports() {
     // Every open is a recovery: initial, crash-plan reopen, final reopen.
     assert!(metrics::LIVE_RECOVERIES.get() - before.7 >= 3);
 }
+
+// ---------------------------------------------------------------------------
+// Observability: scenario replay, baseline diffing, and SLO reconciliation
+// ---------------------------------------------------------------------------
+
+/// A scenario cell small enough for the test suite: one document, a few
+/// seconds of virtual time.
+fn tiny_cell() -> sage::obs::ScenarioCell {
+    sage::obs::ScenarioCell {
+        name: "e2e-tiny".to_string(),
+        docs: 1,
+        duration_s: 6,
+        qps: 2,
+        ..sage::obs::ScenarioCell::default()
+    }
+}
+
+#[test]
+fn scenario_cells_replay_byte_for_byte_through_the_facade() {
+    let a = run_cell(models(), &tiny_cell()).expect("cell runs");
+    let b = run_cell(models(), &tiny_cell()).expect("cell runs");
+    // Every metric is a virtual-clock quantity: the rendered rows must be
+    // byte-identical across runs, which is what lets CI diff them against
+    // a committed baseline.
+    assert_eq!(a.to_json(), b.to_json());
+    // And the render/parse pair round-trips the row exactly.
+    let parsed = sage::obs::parse_rows(&sage::obs::render_rows(std::slice::from_ref(&a))).expect("parses");
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0].to_json(), a.to_json());
+}
+
+#[test]
+fn scenario_diff_flags_out_of_band_metrics_with_a_readable_line() {
+    use std::collections::BTreeMap;
+    let base = run_cell(models(), &tiny_cell()).expect("cell runs");
+
+    // Identical rows diff clean under any tolerance.
+    let mut tolerance = BTreeMap::new();
+    assert!(sage::obs::diff_rows(std::slice::from_ref(&base), std::slice::from_ref(&base), &tolerance, false).is_empty());
+
+    // Perturb one banded metric past its band and one exact-match metric
+    // by the smallest possible amount: both must be reported, each line
+    // naming the row, the metric, and both values.
+    tolerance.insert("p50_sojourn_us".to_string(), 0.10);
+    let mut bad = base.clone();
+    for (key, value) in &mut bad.metrics {
+        if key == "p50_sojourn_us" {
+            let v: f64 = value.parse().unwrap();
+            *value = format!("{:.0}", v * 2.0);
+        }
+        if key == "errors" {
+            *value = "1".to_string();
+        }
+    }
+    let diff = sage::obs::diff_rows(std::slice::from_ref(&base), &[bad], &tolerance, false);
+    assert_eq!(diff.len(), 2, "diff: {diff:?}");
+    assert!(diff.iter().all(|l| l.contains("`e2e-tiny`")), "diff: {diff:?}");
+    assert!(diff.iter().any(|l| l.contains("p50_sojourn_us") && l.contains("tolerance")));
+    assert!(diff.iter().any(|l| l.contains("errors") && l.contains("baseline 0")));
+
+    // In-band drift stays quiet: +5% on a 10% band is not a regression.
+    let mut ok = base.clone();
+    for (key, value) in &mut ok.metrics {
+        if key == "p50_sojourn_us" {
+            let v: f64 = value.parse().unwrap();
+            *value = format!("{:.0}", v * 1.05);
+        }
+    }
+    assert!(sage::obs::diff_rows(&[base], &[ok], &tolerance, false).is_empty());
+}
+
+#[test]
+fn slo_report_reconciles_with_recorder_counters_and_ledger() {
+    use sage::telemetry::metrics::{BROWNOUT_TOTAL, SHED_TOTAL};
+    use std::time::Duration;
+
+    let ds = quality::generate(SizeConfig { num_docs: 2, questions_per_doc: 4, seed: 7 });
+    let corpus: Vec<String> = ds.documents.iter().map(|d| d.text()).collect();
+    let questions: Vec<String> = ds.tasks.iter().map(|t| t.item.question.clone()).collect();
+    let mut system = RagSystem::build(
+        models(),
+        RetrieverKind::OpenAiSim,
+        SageConfig::sage(),
+        LlmProfile::gpt4o_mini(),
+        &corpus,
+    );
+    let hub = system.enable_telemetry();
+    system.enable_recorder(sage::obs::RecorderConfig { capacity: 16, window: 8, topk: 2 });
+
+    // Offered load past capacity with a tight deadline so the run sheds
+    // and browns out — the interesting reconciliation cases.
+    let shed0: u64 = (0..Priority::COUNT).map(|i| SHED_TOTAL.get(i)).sum();
+    let brownout0 = BROWNOUT_TOTAL.total();
+    let cfg = SoakConfig {
+        seed: 0x510,
+        duration: Duration::from_secs(15),
+        qps: 8.0,
+        capacity: 4,
+        concurrency: 2,
+        budget: Some(QueryBudget::new(Duration::from_millis(2_000), 50_000)),
+        ..SoakConfig::default()
+    };
+    let soak = run_soak(&system, &questions, &cfg);
+    assert!(soak.shed_total() > 0, "overload must shed: {:?}", soak.log);
+    assert!(soak.browned_out() > 0, "tight deadline must brown out: {:?}", soak.log);
+
+    // The SLO evaluator counts terminal events straight off the
+    // observation stream; its totals must match the soak report exactly.
+    let slo = evaluate_slo(&SloSpec::default(), &soak.obs);
+    assert_eq!(slo.observed, soak.obs.len() as u64);
+    assert_eq!(slo.shed_seen, soak.shed_total() + soak.expired as u64);
+    assert_eq!(slo.browned_out_seen, soak.browned_out());
+
+    // The process-global admission counters are monotonic and shared with
+    // concurrently-running tests, so reconcile with >=: the deltas must
+    // cover at least this run's events.
+    let shed_delta: u64 = (0..Priority::COUNT).map(|i| SHED_TOTAL.get(i)).sum::<u64>() - shed0;
+    assert!(shed_delta >= soak.shed_total(), "{shed_delta} < {}", soak.shed_total());
+    let brownout_steps: u64 = soak
+        .obs
+        .iter()
+        .filter(|o| o.outcome == sage::obs::Outcome::Done)
+        .map(|o| u64::from(o.brownout))
+        .sum();
+    assert!(BROWNOUT_TOTAL.total() - brownout0 >= brownout_steps);
+
+    // The recorder saw every observation, stayed within capacity, and
+    // kept every flagged record up to capacity (tail-based retention).
+    let stats = system.recorder_stats().expect("recorder attached");
+    assert_eq!(stats.captured, soak.obs.len() as u64);
+    let retained = system.with_recorder(|r| r.len()).unwrap();
+    assert!(retained <= 16);
+    let flagged_total = soak.obs.iter().filter(|o| o.flagged()).count();
+    let flagged_retained = system
+        .with_recorder(|r| r.records().iter().filter(|rec| rec.obs.flagged()).count())
+        .unwrap();
+    assert_eq!(flagged_retained, flagged_total.min(16));
+
+    // This system's cost ledger attributes exactly the tokens the
+    // observation stream reports (the hub is per-system, so this is exact
+    // even with other tests running).
+    let obs_tokens: u64 = soak.obs.iter().map(|o| o.tokens).sum();
+    assert_eq!(hub.ledger().total().total_tokens(), obs_tokens);
+}

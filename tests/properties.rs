@@ -482,6 +482,131 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn histogram_merge_spans_disjoint_bucket_ranges(
+        small in proptest::collection::vec(0u64..16, 1..40),
+        huge in proptest::collection::vec((1u64 << 40)..(1u64 << 50), 1..16),
+    ) {
+        use sage::telemetry::hist::{bucket_of, bucket_upper};
+        // The two snapshots occupy disjoint, differently-sized slices of
+        // the bucket array: merge must be exact bucket-wise addition with
+        // no renormalisation across the gap.
+        let lo = histogram_snapshot_of(&small);
+        let hi = histogram_snapshot_of(&huge);
+        let mut merged = lo.clone();
+        merged.merge(&hi);
+        prop_assert_eq!(merged.count(), (small.len() + huge.len()) as u64);
+        prop_assert_eq!(merged.sum, lo.sum + hi.sum);
+        for i in 0..merged.counts.len() {
+            prop_assert_eq!(merged.counts[i], lo.counts[i] + hi.counts[i]);
+        }
+        // The low tail still resolves to a small bucket and the high tail
+        // to a huge one — neither population shadows the other.
+        let small_max = *small.iter().max().unwrap();
+        prop_assert!(merged.quantile(0.0) <= bucket_upper(bucket_of(small_max)));
+        prop_assert!(merged.quantile(1.0) >= 1u64 << 40);
+        // Merging with an empty snapshot is the identity.
+        let empty = histogram_snapshot_of(&[]);
+        let mut padded = merged.clone();
+        padded.merge(&empty);
+        prop_assert_eq!(padded, merged);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_the_bucket_upper(v in 0u64..u64::MAX) {
+        use sage::telemetry::hist::{bucket_of, bucket_upper};
+        // With one sample every rank clamps to 1, so every quantile —
+        // p99 included — is that sample's bucket upper bound.
+        let s = histogram_snapshot_of(&[v]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(s.quantile(q), bucket_upper(bucket_of(v)), "q={} v={}", q, v);
+        }
+    }
+}
+
+#[test]
+fn single_sample_p99_at_the_extreme_buckets() {
+    use sage::telemetry::hist::{bucket_of, bucket_upper};
+    // Edge buckets: zero lives in bucket 0 (upper bound 0) and u64::MAX
+    // in the saturating top bucket (upper bound u64::MAX).
+    assert_eq!(histogram_snapshot_of(&[0]).quantile(0.99), 0);
+    assert_eq!(histogram_snapshot_of(&[1]).quantile(0.99), 1);
+    assert_eq!(histogram_snapshot_of(&[u64::MAX]).quantile(0.99), u64::MAX);
+    assert_eq!(bucket_upper(bucket_of(u64::MAX)), u64::MAX);
+    // The empty histogram reports 0 rather than panicking on rank 0.
+    assert_eq!(histogram_snapshot_of(&[]).quantile(0.99), 0);
+}
+
+// --- flight recorder -----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn recorder_retention_is_deterministic_and_bounded(
+        stream in proptest::collection::vec(
+            // (service_ns, outcome, brownout rung, tokens); deadline-missed
+            // derives from service_ns parity to stay within tuple arity.
+            (0u64..5_000_000, 0usize..5, 0u8..4, 0u64..10_000),
+            0..120,
+        ),
+        capacity in 1usize..24,
+        window in 1usize..10,
+        topk in 1usize..4,
+    ) {
+        use sage::obs::{FlightRecorder, Outcome, QueryObs, RecorderConfig};
+        const OUTCOMES: [Outcome; 5] =
+            [Outcome::Done, Outcome::Shed, Outcome::Expired, Outcome::Error, Outcome::Panicked];
+        let make = |i: usize| {
+            let (service_ns, outcome, brownout, tokens) = stream[i];
+            let missed = service_ns % 2 == 1;
+            QueryObs {
+                seq: i as u64,
+                class: ["interactive", "batch", "background"][i % 3],
+                arrival_us: i as u64 * 100,
+                end_us: i as u64 * 100 + service_ns / 1_000,
+                sojourn_ns: service_ns,
+                service_ns,
+                outcome: OUTCOMES[outcome],
+                brownout,
+                degraded: 0,
+                deadline_missed: missed,
+                tokens,
+                confidence_milli: 500,
+                question: format!("q{i}"),
+            }
+        };
+        let run = || {
+            let mut rec = FlightRecorder::new(RecorderConfig { capacity, window, topk });
+            for i in 0..stream.len() {
+                rec.capture_query(&make(i));
+            }
+            rec
+        };
+        let (a, b) = (run(), run());
+        // Retention is a pure function of the observation stream.
+        prop_assert_eq!(a.to_jsonl(), b.to_jsonl());
+        // The ring never exceeds capacity and accounts for every offer.
+        prop_assert!(a.len() <= capacity);
+        let stats = a.stats();
+        prop_assert_eq!(stats.captured, stream.len() as u64);
+        prop_assert_eq!(stats.captured, a.len() as u64 + stats.evicted);
+        // Tail-based retention: flagged observations are only evicted once
+        // the whole ring is flagged, so the retained flagged count is the
+        // total clamped at capacity.
+        let flagged = |o: &QueryObs| {
+            o.outcome != Outcome::Done || o.brownout > 0 || o.degraded > 0 || o.deadline_missed
+        };
+        let flagged_total = (0..stream.len()).filter(|&i| flagged(&make(i))).count();
+        let retained_flagged =
+            a.to_jsonl().lines().filter(|l| {
+                !(l.contains("\"outcome\":\"done\"")
+                    && l.contains("\"brownout\":0")
+                    && l.contains("\"degraded\":0")
+                    && l.contains("\"deadline_missed\":false"))
+            }).count();
+        prop_assert_eq!(retained_flagged, flagged_total.min(capacity));
+    }
 }
 
 /// Blank out the digit runs after the wall-clock keys (`"start_ns":` and
