@@ -216,6 +216,7 @@ pub(crate) fn execute_fixed(
     // placeholder.
     let assemble_start = Instant::now();
     ctx.selected = chunk_ids.to_vec();
+    // sage-lint: allow(panic-reachability) - chunk ids were produced against sys.chunks by this run's retriever
     ctx.context = chunk_ids.iter().map(|&id| sys.chunks[id].clone()).collect();
     ctx.retrieval_latency = assemble_start.elapsed();
     run_plan(sys, &mut plan, &mut ctx);

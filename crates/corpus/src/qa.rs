@@ -11,6 +11,8 @@
 //!   retrieval case);
 //! * [`QuestionKind::Unanswerable`] — QASPER style, no supporting evidence.
 
+// sage-lint: allow-file(panic-reachability) - record slices are pre-checked for arity before head indexing; relation ids are RELATIONS positions
+
 // sage-lint: allow-file(deterministic-iteration) - sets are dedup/membership guards; questions and options are emitted in fact-record and RNG order, never by iterating these sets
 
 use crate::document::FactRecord;

@@ -61,6 +61,7 @@ impl Embedder for TfIdfEmbedder {
                 None => (1.0 + (self.vocab.num_docs() as f32 + 0.5) / 0.5).ln(),
             };
             let f = hash_token(&term, self.dim, self.seed);
+            // sage-lint: allow(panic-reachability) - feature buckets were reduced modulo the vector dimension when featurised
             v[f.bucket as usize] += f.sign * (1.0 + tf.ln()) * idf;
         }
         l2_normalize(&mut v);

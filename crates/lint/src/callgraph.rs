@@ -1,0 +1,166 @@
+//! The intra-workspace call graph and its reachability queries.
+//!
+//! Nodes are the fn symbols of [`crate::resolve::Workspace`]; edges are
+//! the over-approximate resolutions of every call site. Construction is
+//! deterministic: files are scanned in sorted order, symbols are listed
+//! in source order, and adjacency lists come out of a `BTreeSet` —
+//! `to_json` on the same tree is byte-identical across runs, which the
+//! property tests assert.
+
+use crate::resolve::Workspace;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+/// The call graph: `edges[i]` are the candidate callees of fn `i`,
+/// sorted and deduplicated.
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// The result of a breadth-first reachability sweep.
+#[derive(Debug, Default)]
+pub struct Reach {
+    /// Every fn reachable from the start set (including the starts).
+    pub set: BTreeSet<usize>,
+    /// First-discovery parent of each reached fn (starts map to None),
+    /// for shortest-path reconstruction in diagnostics.
+    pub parent: BTreeMap<usize, Option<usize>>,
+}
+
+impl Graph {
+    /// Build the graph by resolving every fn body in the workspace.
+    pub fn build(ws: &Workspace) -> Graph {
+        Graph { edges: (0..ws.fns.len()).map(|id| ws.callees(id)).collect() }
+    }
+
+    /// BFS from `starts`, never expanding the successors of fns in
+    /// `blocked` (unwind boundaries): a blocked fn is recorded as
+    /// reached but absorbs the walk.
+    pub fn reach(&self, starts: &[usize], blocked: &BTreeSet<usize>) -> Reach {
+        let mut r = Reach::default();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &s in starts {
+            if r.set.insert(s) {
+                r.parent.insert(s, None);
+                queue.push_back(s);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            if blocked.contains(&n) {
+                continue;
+            }
+            for &m in self.edges.get(n).map(Vec::as_slice).unwrap_or(&[]) {
+                if r.set.insert(m) {
+                    r.parent.insert(m, Some(n));
+                    queue.push_back(m);
+                }
+            }
+        }
+        r
+    }
+
+    /// The discovery path from a start fn to `target`, as display names:
+    /// `entry → a → b → target`. Truncated in the middle past 8 hops.
+    pub fn path_to(&self, ws: &Workspace, reach: &Reach, target: usize) -> String {
+        let mut rev = vec![target];
+        let mut cur = target;
+        while let Some(Some(p)) = reach.parent.get(&cur) {
+            rev.push(*p);
+            cur = *p;
+        }
+        rev.reverse();
+        let names: Vec<String> = rev.iter().map(|&id| ws.display(id)).collect();
+        if names.len() > 8 {
+            let head = &names[..4];
+            let tail = &names[names.len() - 3..];
+            format!("{} -> ... -> {}", head.join(" -> "), tail.join(" -> "))
+        } else {
+            names.join(" -> ")
+        }
+    }
+
+    /// Serialize the graph deterministically: one node object per fn in
+    /// symbol order, edges as index arrays.
+    pub fn to_json(&self, ws: &Workspace) -> String {
+        let mut s = String::from("{\"version\":1,\"fns\":[");
+        for (id, f) in ws.fns.iter().enumerate() {
+            if id > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"id\":{id},\"name\":\"{}\",\"file\":\"{}\",\"line\":{},\"in_test\":{},\"calls\":[",
+                crate::json_escape(&ws.display(id)),
+                crate::json_escape(&ws.files[f.file].rel),
+                f.line,
+                f.in_test,
+            );
+            for (k, m) in self.edges[id].iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{m}");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+    use crate::resolve::FileUnit;
+
+    fn ws(src: &str) -> Workspace {
+        let tokens = lex(src).tokens;
+        let items = parse_items(&tokens);
+        Workspace::build(vec![FileUnit {
+            rel: "crates/core/src/lib.rs".into(),
+            key: "core".into(),
+            tokens,
+            items,
+        }])
+    }
+
+    #[test]
+    fn reach_follows_edges_and_stops_at_blocked() {
+        let w = ws("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn d() {}\n");
+        let g = Graph::build(&w);
+        let all = g.reach(&[0], &BTreeSet::new());
+        assert!(all.set.contains(&2));
+        assert!(!all.set.contains(&3));
+        // Blocking b records it but absorbs the walk before c.
+        let blocked: BTreeSet<usize> = [1].into_iter().collect();
+        let cut = g.reach(&[0], &blocked);
+        assert!(cut.set.contains(&1));
+        assert!(!cut.set.contains(&2));
+    }
+
+    #[test]
+    fn paths_reconstruct_from_parents() {
+        let w = ws("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n");
+        let g = Graph::build(&w);
+        let r = g.reach(&[0], &BTreeSet::new());
+        assert_eq!(g.path_to(&w, &r, 2), "core::a -> core::b -> core::c");
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let src = "fn a() { b(); c(); }\nfn b() {}\nfn c() { b(); }\n";
+        let j1 = {
+            let w = ws(src);
+            Graph::build(&w).to_json(&w)
+        };
+        let j2 = {
+            let w = ws(src);
+            Graph::build(&w).to_json(&w)
+        };
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"name\":\"core::a\""));
+    }
+}

@@ -1,19 +1,26 @@
 //! A minimal Rust lexer for static analysis.
 //!
-//! Produces a stream of identifier/punctuation tokens with line numbers,
-//! *skipping* the contents of line comments, (nested) block comments,
-//! string literals, raw strings (`r"…"`, `r#"…"#`, any hash count), byte
-//! strings, char literals, and lifetimes — so rules never fire on text
-//! content. Comments are not discarded entirely: each one is checked for a
-//! suppression marker (see [`AllowMarker`]), and a second pass marks the
-//! tokens that belong to test-only code (`cfg`-test modules and test
-//! functions), which most rules exempt.
+//! Produces a stream of identifier/punctuation tokens with line and
+//! column numbers, *skipping* the contents of line comments, (nested)
+//! block comments, string literals, raw strings (`r"…"`, `r#"…"#`, any
+//! hash count), byte strings, char literals, and lifetimes — so rules
+//! never fire on text content. Comments are not discarded entirely: each
+//! one is checked for a suppression marker (see [`AllowMarker`]), and a
+//! second pass marks the tokens that belong to test-only code
+//! (`cfg`-test modules and test functions), which most rules exempt.
+//!
+//! Line/column bookkeeping counts `char` boundaries, not bytes, so
+//! diagnostics in files carrying multibyte characters (em-dashes and
+//! typographic quotes in doc comments, for instance) still point at the
+//! column an editor shows.
 //!
 //! The lexer is intentionally not a full Rust frontend: it understands
 //! exactly enough lexical structure to never confuse program text with
 //! literal text. Numeric literals are consumed as opaque blobs; generic
 //! angle brackets, pattern syntax, and macro bodies all flow through as
-//! plain punctuation, which is sufficient for every token-pattern rule.
+//! plain punctuation, which is sufficient for the token-pattern rules,
+//! and the item parser ([`crate::parser`]) recovers fn/impl/mod/use
+//! structure from the same stream for the whole-program analyses.
 
 /// What kind of token this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +40,8 @@ pub struct Tok {
     pub text: String,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column in `char`s (not bytes).
+    pub col: u32,
     /// Whether the token sits inside test-only code (a module or item
     /// carrying a test attribute). Most rules skip these tokens.
     pub in_test: bool,
@@ -46,6 +55,8 @@ pub struct Tok {
 pub struct AllowMarker {
     /// Line the comment starts on.
     pub line: u32,
+    /// 1-based column (in `char`s) of the comment start.
+    pub col: u32,
     /// Rule names listed inside the parentheses (empty when malformed).
     pub rules: Vec<String>,
     /// Whether this suppresses for the whole file rather than one line.
@@ -73,7 +84,7 @@ pub struct Lexed {
 
 const MARKER_PREFIX: &str = "sage-lint:";
 
-fn parse_marker(comment: &str, line: u32, markers: &mut Vec<AllowMarker>) {
+fn parse_marker(comment: &str, line: u32, col: u32, markers: &mut Vec<AllowMarker>) {
     // The marker must lead the comment (after whitespace); prose that
     // merely *mentions* the marker syntax mid-sentence is not a marker.
     let t = comment.trim_start();
@@ -86,6 +97,7 @@ fn parse_marker(comment: &str, line: u32, markers: &mut Vec<AllowMarker>) {
     } else {
         markers.push(AllowMarker {
             line,
+            col,
             rules: Vec::new(),
             file_level: false,
             justification: String::new(),
@@ -95,6 +107,7 @@ fn parse_marker(comment: &str, line: u32, markers: &mut Vec<AllowMarker>) {
     let Some(close) = body.find(')') else {
         markers.push(AllowMarker {
             line,
+            col,
             rules: Vec::new(),
             file_level,
             justification: String::new(),
@@ -109,7 +122,7 @@ fn parse_marker(comment: &str, line: u32, markers: &mut Vec<AllowMarker>) {
     let justification = body[close + 1..]
         .trim_matches(|c: char| c.is_whitespace() || c == '-' || c == '\u{2014}' || c == ':')
         .to_string();
-    markers.push(AllowMarker { line, rules, file_level, justification });
+    markers.push(AllowMarker { line, col, rules, file_level, justification });
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -120,6 +133,24 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
+/// Line/column cursor shared with the literal-skipping helpers: `line` is
+/// 1-based; `line_start` is the char index where the current line begins,
+/// so `col(i) = i - line_start + 1` counts chars, not bytes.
+struct Pos {
+    line: u32,
+    line_start: usize,
+}
+
+impl Pos {
+    fn col(&self, i: usize) -> u32 {
+        (i - self.line_start + 1) as u32
+    }
+    fn newline_at(&mut self, i: usize) {
+        self.line += 1;
+        self.line_start = i + 1;
+    }
+}
+
 /// Lex `source` into tokens and markers. Never panics on malformed input:
 /// unterminated literals simply consume to end of file.
 pub fn lex(source: &str) -> Lexed {
@@ -128,14 +159,14 @@ pub fn lex(source: &str) -> Lexed {
     let mut tokens: Vec<Tok> = Vec::new();
     let mut markers: Vec<AllowMarker> = Vec::new();
     let mut i = 0usize;
-    let mut line = 1u32;
+    let mut pos = Pos { line: 1, line_start: 0 };
 
     let peek = |j: usize| -> Option<char> { chars.get(j).copied() };
 
     while i < len {
         let c = chars[i];
         if c == '\n' {
-            line += 1;
+            pos.newline_at(i);
             i += 1;
             continue;
         }
@@ -145,17 +176,19 @@ pub fn lex(source: &str) -> Lexed {
         }
         // Line comment.
         if c == '/' && peek(i + 1) == Some('/') {
+            let comment_col = pos.col(i);
             let start = i + 2;
             while i < len && chars[i] != '\n' {
                 i += 1;
             }
             let text: String = chars[start.min(i)..i].iter().collect();
-            parse_marker(&text, line, &mut markers);
+            parse_marker(&text, pos.line, comment_col, &mut markers);
             continue;
         }
         // Block comment (nested).
         if c == '/' && peek(i + 1) == Some('*') {
-            let start_line = line;
+            let start_line = pos.line;
+            let start_col = pos.col(i);
             let mut depth = 1u32;
             i += 2;
             let text_start = i;
@@ -175,7 +208,7 @@ pub fn lex(source: &str) -> Lexed {
                     continue;
                 }
                 if chars[i] == '\n' {
-                    line += 1;
+                    pos.newline_at(i);
                 }
                 i += 1;
             }
@@ -183,24 +216,24 @@ pub fn lex(source: &str) -> Lexed {
                 text_end = i;
             }
             let text: String = chars[text_start..text_end.max(text_start)].iter().collect();
-            parse_marker(&text, start_line, &mut markers);
+            parse_marker(&text, start_line, start_col, &mut markers);
             continue;
         }
         // String literal.
         if c == '"' {
-            i = skip_string(&chars, i, &mut line);
+            i = skip_string(&chars, i, &mut pos);
             continue;
         }
         // Raw strings, raw identifiers, byte strings/chars.
         if c == 'r' || c == 'b' {
-            if let Some(ni) = lex_prefixed(&chars, i, &mut line, &mut tokens) {
+            if let Some(ni) = lex_prefixed(&chars, i, &mut pos, &mut tokens) {
                 i = ni;
                 continue;
             }
         }
         // Char literal or lifetime.
         if c == '\'' {
-            i = skip_char_or_lifetime(&chars, i, &mut line);
+            i = skip_char_or_lifetime(&chars, i, &mut pos);
             continue;
         }
         // Numeric literal: consumed as an opaque blob (suffixes, hex
@@ -223,12 +256,19 @@ pub fn lex(source: &str) -> Lexed {
             tokens.push(Tok {
                 kind: TokKind::Ident,
                 text: chars[start..i].iter().collect(),
-                line,
+                line: pos.line,
+                col: pos.col(start),
                 in_test: false,
             });
             continue;
         }
-        tokens.push(Tok { kind: TokKind::Punct, text: c.to_string(), line, in_test: false });
+        tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: pos.line,
+            col: pos.col(i),
+            in_test: false,
+        });
         i += 1;
     }
 
@@ -237,20 +277,20 @@ pub fn lex(source: &str) -> Lexed {
 }
 
 /// Skip a normal (escaped) string literal starting at the opening quote.
-fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+fn skip_string(chars: &[char], mut i: usize, pos: &mut Pos) -> usize {
     i += 1;
     while i < chars.len() {
         match chars[i] {
             '\\' => {
                 // A line-continuation escape still ends a source line.
                 if chars.get(i + 1) == Some(&'\n') {
-                    *line += 1;
+                    pos.newline_at(i + 1);
                 }
                 i += 2;
             }
             '"' => return i + 1,
             '\n' => {
-                *line += 1;
+                pos.newline_at(i);
                 i += 1;
             }
             _ => i += 1,
@@ -261,11 +301,11 @@ fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
 
 /// Skip a raw string body starting at the opening quote, terminated by a
 /// quote followed by `hashes` hash signs.
-fn skip_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+fn skip_raw_string(chars: &[char], mut i: usize, hashes: usize, pos: &mut Pos) -> usize {
     i += 1; // opening quote
     while i < chars.len() {
         if chars[i] == '\n' {
-            *line += 1;
+            pos.newline_at(i);
         }
         if chars[i] == '"' {
             let mut ok = true;
@@ -291,7 +331,7 @@ fn skip_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut u32) 
 fn lex_prefixed(
     chars: &[char],
     i: usize,
-    line: &mut u32,
+    pos: &mut Pos,
     tokens: &mut Vec<Tok>,
 ) -> Option<usize> {
     let c = chars[i];
@@ -299,7 +339,7 @@ fn lex_prefixed(
     if c == 'r' {
         // r"..."  |  r#"..."#  |  r#ident
         if peek(i + 1) == Some('"') {
-            return Some(skip_raw_string(chars, i + 1, 0, line));
+            return Some(skip_raw_string(chars, i + 1, 0, pos));
         }
         let mut h = 0usize;
         while peek(i + 1 + h) == Some('#') {
@@ -307,7 +347,7 @@ fn lex_prefixed(
         }
         if h > 0 {
             if peek(i + 1 + h) == Some('"') {
-                return Some(skip_raw_string(chars, i + 1 + h, h, line));
+                return Some(skip_raw_string(chars, i + 1 + h, h, pos));
             }
             if h == 1 && peek(i + 2).is_some_and(is_ident_start) {
                 // Raw identifier r#name: emit the bare name.
@@ -319,7 +359,8 @@ fn lex_prefixed(
                 tokens.push(Tok {
                     kind: TokKind::Ident,
                     text: chars[start..j].iter().collect(),
-                    line: *line,
+                    line: pos.line,
+                    col: pos.col(start),
                     in_test: false,
                 });
                 return Some(j);
@@ -329,15 +370,15 @@ fn lex_prefixed(
     }
     // c == 'b'
     match peek(i + 1) {
-        Some('"') => Some(skip_string(chars, i + 1, line)),
-        Some('\'') => Some(skip_char_or_lifetime(chars, i + 1, line)),
+        Some('"') => Some(skip_string(chars, i + 1, pos)),
+        Some('\'') => Some(skip_char_or_lifetime(chars, i + 1, pos)),
         Some('r') => {
             let mut h = 0usize;
             while peek(i + 2 + h) == Some('#') {
                 h += 1;
             }
             if peek(i + 2 + h) == Some('"') {
-                Some(skip_raw_string(chars, i + 2 + h, h, line))
+                Some(skip_raw_string(chars, i + 2 + h, h, pos))
             } else {
                 None
             }
@@ -349,7 +390,7 @@ fn lex_prefixed(
 /// Skip a char literal or a lifetime starting at the quote. `'a'` and
 /// `'\n'` are char literals; `'a` (no closing quote) is a lifetime and
 /// produces no token — no rule matches on lifetimes.
-fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32) -> usize {
+fn skip_char_or_lifetime(chars: &[char], i: usize, pos: &mut Pos) -> usize {
     let len = chars.len();
     match chars.get(i + 1) {
         Some('\\') => {
@@ -359,13 +400,13 @@ fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32) -> usize {
                 match chars[j] {
                     '\\' => {
                         if chars.get(j + 1) == Some(&'\n') {
-                            *line += 1;
+                            pos.newline_at(j + 1);
                         }
                         j += 2;
                     }
                     '\'' => return j + 1,
                     '\n' => {
-                        *line += 1;
+                        pos.newline_at(j);
                         j += 1;
                     }
                     _ => j += 1,
@@ -572,6 +613,37 @@ mod tests {
     }
 
     #[test]
+    fn columns_are_one_based_chars() {
+        let src = "ab cd\n  ef(gh)";
+        let toks = lex(src).tokens;
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| (t.line, t.col));
+        assert_eq!(find("ab"), Some((1, 1)));
+        assert_eq!(find("cd"), Some((1, 4)));
+        assert_eq!(find("ef"), Some((2, 3)));
+        assert_eq!(find("gh"), Some((2, 6)));
+    }
+
+    #[test]
+    fn columns_count_chars_not_bytes() {
+        // The em-dash and the curly quotes are multibyte; a byte counter
+        // would overshoot the columns of everything after them.
+        let src = "let a = 1; // “mixed — prose”\nlet b = 2;\nlet émile = après(3);";
+        let toks = lex(src).tokens;
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| (t.line, t.col));
+        assert_eq!(find("b"), Some((2, 5)));
+        assert_eq!(find("émile"), Some((3, 5)));
+        assert_eq!(find("après"), Some((3, 13)));
+    }
+
+    #[test]
+    fn columns_survive_multiline_strings() {
+        let src = "let s = \"line one\nline two\"; after();";
+        let toks = lex(src).tokens;
+        let after = toks.iter().find(|t| t.text == "after");
+        assert_eq!(after.map(|t| (t.line, t.col)), Some((2, 12)));
+    }
+
+    #[test]
     fn line_continuation_in_string_counts_its_newline() {
         let src = "let s = \"first \\\n   second\";\nafter();\n";
         let toks = lex(src).tokens;
@@ -626,6 +698,7 @@ mod tests {
         assert!(!m.file_level);
         assert!(m.justified());
         assert_eq!(m.line, 1);
+        assert_eq!(m.col, 12);
     }
 
     #[test]

@@ -1,28 +1,55 @@
 //! `sage-lint` — dependency-free static analysis for the SAGE workspace.
 //!
-//! The analyzer lexes every `.rs` file in the workspace with its own
-//! minimal Rust lexer ([`lexer`]) — comments, strings, raw strings, and
-//! char literals are skipped, so rules can never fire on text content —
-//! and runs eight token-pattern rules ([`rules`]) that enforce the
-//! invariants SAGE's evaluation rests on: determinism, panic-freedom on
-//! the serving path, the inter-crate layering DAG, and the single-writer
-//! confinement of live-corpus mutation.
+//! Two layers share one engine:
+//!
+//! * **Token rules.** The analyzer lexes every `.rs` file with its own
+//!   minimal Rust lexer ([`lexer`]) — comments, strings, raw strings,
+//!   and char literals are skipped, so rules can never fire on text
+//!   content — and runs nine token-pattern rules ([`rules`]) enforcing
+//!   the invariants SAGE's evaluation rests on: determinism,
+//!   panic-freedom on the serving path, the inter-crate layering DAG,
+//!   and the confinement of mutation/recorder/unwind surfaces.
+//! * **Whole-program rules.** An item-level parser ([`parser`]) lifts
+//!   the token stream into fn/impl/mod/use trees, symbol resolution
+//!   ([`resolve`]) honours the same crate DAG the layering rule
+//!   enforces, and a call graph ([`callgraph`]) feeds two reachability
+//!   analyses ([`semantic`]): panic-reachability (serving entry points
+//!   never transitively reach a panic site outside an unwind boundary)
+//!   and determinism-taint (wall-clock / RandomState / Relaxed values
+//!   never flow into byte-compared serialized outputs).
 //!
 //! A violation can be suppressed with an inline comment marker naming
 //! the rule and carrying a justification (the exact grammar is
 //! documented in DESIGN.md §Static analysis). A marker with an unknown
 //! rule name or a missing/too-short justification is itself reported as
-//! a `bad-allow` violation, which cannot be suppressed.
+//! a `bad-allow` violation, and a valid marker that no longer
+//! suppresses anything is reported as `stale-suppression` — neither can
+//! be suppressed, which keeps the marker inventory honest.
 //!
-//! Three consumers share this crate: the `sage-cli lint` subcommand,
-//! the tier-1 test in `tests/static_analysis.rs`, and the
-//! `scripts/check.sh` gate.
+//! Machine consumers get JSON ([`render_json`]), SARIF 2.1.0
+//! ([`sarif`]), and a committed per-rule ratchet ([`ratchet`]) that CI
+//! asserts non-increasing. Four consumers share this crate: the
+//! `sage-cli lint` subcommand, the tier-1 tests in
+//! `tests/static_analysis.rs`, the `scripts/check.sh` gate, and the
+//! `lint_overhead` bench.
 
+// sage-lint: allow-file(no-wallclock) - phase-cost metering surfaced to `sage top`; analysis results never depend on elapsed time
+
+pub mod callgraph;
+pub mod jsonv;
 pub mod lexer;
+pub mod parser;
+pub mod ratchet;
+pub mod resolve;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
 
+use lexer::AllowMarker;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// One rule violation at a specific source location.
 #[derive(Debug, Clone)]
@@ -33,13 +60,15 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column, counted in `char`s.
+    pub col: u32,
     /// Human-oriented explanation including the remediation.
     pub message: String,
 }
 
 impl Violation {
-    pub(crate) fn new(rule: &'static str, file: &str, line: u32, message: String) -> Self {
-        Violation { rule, file: file.to_string(), line, message }
+    pub(crate) fn new(rule: &'static str, file: &str, line: u32, col: u32, message: String) -> Self {
+        Violation { rule, file: file.to_string(), line, col, message }
     }
 }
 
@@ -55,12 +84,19 @@ pub struct FileReport {
 /// The outcome of linting the whole workspace.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// All surviving violations, grouped by file in walk order.
+    /// All surviving violations, ordered by (file, line, col, rule).
     pub violations: Vec<Violation>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Total violations suppressed by valid allow markers.
     pub suppressed: usize,
+    /// Suppressions broken down by rule — the ratchet's raw material.
+    pub suppressed_by_rule: BTreeMap<String, usize>,
+    /// Wall-clock cost of each analysis phase in nanoseconds, in run
+    /// order. Reported out-of-band (CLI `--timings`, telemetry gauges);
+    /// never part of the JSON/SARIF documents, which must be
+    /// byte-stable for identical inputs.
+    pub timings: Vec<(&'static str, u64)>,
 }
 
 impl Report {
@@ -68,20 +104,22 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Surviving violations broken down by rule.
+    pub fn violations_by_rule(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for v in &self.violations {
+            *out.entry(v.rule.to_string()).or_insert(0) += 1;
+        }
+        out
+    }
 }
 
-/// Lint a single file's source text. `crate_key` is the workspace crate
-/// the file belongs to (`"core"`, `"text"`, …, or `"sage"` for the
-/// facade); `file` is the path used in diagnostics.
-pub fn lint_source(crate_key: &str, file: &str, source: &str) -> FileReport {
-    let lexed = lexer::lex(source);
-    let raw = rules::check_file(crate_key, file, &lexed.tokens);
-
-    // Validate markers first: malformed ones become bad-allow violations
-    // and never suppress anything.
+/// Split raw markers into valid ones and `bad-allow` violations.
+fn validate_markers(file: &str, markers: &[AllowMarker]) -> (Vec<AllowMarker>, Vec<Violation>) {
     let mut valid = Vec::new();
-    let mut out: Vec<Violation> = Vec::new();
-    for m in &lexed.markers {
+    let mut bad = Vec::new();
+    for m in markers {
         let unknown: Vec<&str> = m
             .rules
             .iter()
@@ -89,42 +127,57 @@ pub fn lint_source(crate_key: &str, file: &str, source: &str) -> FileReport {
             .filter(|r| !rules::ALL_RULES.contains(r))
             .collect();
         if m.rules.is_empty() {
-            out.push(Violation::new(
+            bad.push(Violation::new(
                 rules::BAD_ALLOW,
                 file,
                 m.line,
+                m.col,
                 "malformed suppression marker: expected `allow(<rules>)` or \
                  `allow-file(<rules>)` with at least one rule name"
                     .to_string(),
             ));
         } else if !unknown.is_empty() {
-            out.push(Violation::new(
+            bad.push(Violation::new(
                 rules::BAD_ALLOW,
                 file,
                 m.line,
+                m.col,
                 format!("suppression marker names unknown rule(s): {}", unknown.join(", ")),
             ));
         } else if !m.justified() {
-            out.push(Violation::new(
+            bad.push(Violation::new(
                 rules::BAD_ALLOW,
                 file,
                 m.line,
+                m.col,
                 "suppression marker lacks a justification: explain why the \
                  invariant holds here"
                     .to_string(),
             ));
         } else {
-            valid.push(m);
+            valid.push(m.clone());
         }
     }
+    (valid, bad)
+}
+
+/// Whether marker `m` suppresses a violation of `rule` at `line`.
+fn marker_hits(m: &AllowMarker, rule: &str, line: u32) -> bool {
+    m.rules.iter().any(|r| r == rule) && (m.file_level || m.line == line || m.line + 1 == line)
+}
+
+/// Lint a single file's source text with the token rules only — the
+/// whole-program rules need the full workspace. `crate_key` is the
+/// workspace crate the file belongs to (`"core"`, `"text"`, …, or
+/// `"sage"` for the facade); `file` is the path used in diagnostics.
+pub fn lint_source(crate_key: &str, file: &str, source: &str) -> FileReport {
+    let lexed = lexer::lex(source);
+    let raw = rules::check_file(crate_key, file, &lexed.tokens);
+    let (valid, mut out) = validate_markers(file, &lexed.markers);
 
     let mut suppressed = 0usize;
     for v in raw {
-        let hit = valid.iter().any(|m| {
-            m.rules.iter().any(|r| r == v.rule)
-                && (m.file_level || m.line == v.line || m.line + 1 == v.line)
-        });
-        if hit {
+        if valid.iter().any(|m| marker_hits(m, v.rule, v.line)) {
             suppressed += 1;
         } else {
             out.push(v);
@@ -168,10 +221,25 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lint every workspace crate under `root`: `src/` (the facade) and each
-/// `crates/<name>/src/`. Integration tests under `tests/` are not
-/// scanned — they are test code, which the rules exempt anyway.
+/// The full result of a workspace analysis: the report plus the symbol
+/// table and call graph it was derived from (for `--callgraph` and the
+/// tier-1 spec-drift tests).
+pub struct Analysis {
+    pub report: Report,
+    pub workspace: resolve::Workspace,
+    pub graph: callgraph::Graph,
+}
+
+/// Lint every workspace crate under `root` with both layers: `src/`
+/// (the facade) and each `crates/<name>/src/`. Integration tests under
+/// `tests/` are not scanned — they are test code, which the rules
+/// exempt anyway.
 pub fn workspace_report(root: &Path) -> std::io::Result<Report> {
+    workspace_analysis(root).map(|a| a.report)
+}
+
+/// [`workspace_report`], keeping the symbol table and call graph.
+pub fn workspace_analysis(root: &Path) -> std::io::Result<Analysis> {
     let mut files: Vec<PathBuf> = Vec::new();
     let facade = root.join("src");
     if facade.is_dir() {
@@ -192,7 +260,15 @@ pub fn workspace_report(root: &Path) -> std::io::Result<Report> {
         }
     }
 
-    let mut report = Report::default();
+    let mut timings: Vec<(&'static str, u64)> = Vec::new();
+    let t_scan = Instant::now();
+
+    // Phase 1: lex, parse, validate markers, run token rules.
+    let mut units: Vec<resolve::FileUnit> = Vec::new();
+    let mut file_markers: Vec<Vec<AllowMarker>> = Vec::new();
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut unsuppressible: Vec<Violation> = Vec::new();
+    let mut files_scanned = 0usize;
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -202,20 +278,96 @@ pub fn workspace_report(root: &Path) -> std::io::Result<Report> {
         let Some(key) = crate_key_of(&rel) else { continue };
         let key = key.to_string();
         let source = std::fs::read_to_string(&path)?;
-        let fr = lint_source(&key, &rel, &source);
-        report.files_scanned += 1;
-        report.suppressed += fr.suppressed;
-        report.violations.extend(fr.violations);
+        let lexed = lexer::lex(&source);
+        let (valid, bad) = validate_markers(&rel, &lexed.markers);
+        unsuppressible.extend(bad);
+        raw.extend(rules::check_file(&key, &rel, &lexed.tokens));
+        let items = parser::parse_items(&lexed.tokens);
+        units.push(resolve::FileUnit { rel, key, tokens: lexed.tokens, items });
+        file_markers.push(valid);
+        files_scanned += 1;
     }
-    Ok(report)
+    timings.push(("scan", t_scan.elapsed().as_nanos() as u64));
+
+    // Phase 2: symbol table and call graph.
+    let t_graph = Instant::now();
+    let workspace = resolve::Workspace::build(units);
+    let graph = callgraph::Graph::build(&workspace);
+    timings.push(("callgraph", t_graph.elapsed().as_nanos() as u64));
+
+    // Phase 3: the whole-program rules.
+    let t_pr = Instant::now();
+    raw.extend(semantic::panic_reachability(&workspace, &graph, &file_markers));
+    timings.push(("panic-reachability", t_pr.elapsed().as_nanos() as u64));
+    let t_dt = Instant::now();
+    raw.extend(semantic::determinism_taint(&workspace, &graph));
+    timings.push(("determinism-taint", t_dt.elapsed().as_nanos() as u64));
+
+    // Phase 4: suppression with per-marker usage accounting, then the
+    // stale-suppression sweep over markers that earned nothing.
+    let t_stale = Instant::now();
+    let file_idx: BTreeMap<&str, usize> = workspace
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.rel.as_str(), i))
+        .collect();
+    let mut usage: Vec<Vec<u32>> = file_markers.iter().map(|ms| vec![0; ms.len()]).collect();
+    let mut report = Report { files_scanned, ..Report::default() };
+    for v in raw {
+        let hit = file_idx.get(v.file.as_str()).and_then(|&fi| {
+            file_markers[fi]
+                .iter()
+                .position(|m| marker_hits(m, v.rule, v.line))
+                .map(|mi| (fi, mi))
+        });
+        match hit {
+            Some((fi, mi)) => {
+                usage[fi][mi] += 1;
+                report.suppressed += 1;
+                *report.suppressed_by_rule.entry(v.rule.to_string()).or_insert(0) += 1;
+            }
+            None => report.violations.push(v),
+        }
+    }
+    report.violations.append(&mut unsuppressible);
+    for (fi, ms) in file_markers.iter().enumerate() {
+        for (mi, m) in ms.iter().enumerate() {
+            if usage[fi][mi] == 0 {
+                report.violations.push(Violation::new(
+                    rules::STALE_SUPPRESSION,
+                    &workspace.files[fi].rel,
+                    m.line,
+                    m.col,
+                    format!(
+                        "suppression marker for `{}` no longer suppresses anything; \
+                         the code it justified moved or was fixed — delete the marker \
+                         or re-justify it where the violation lives now",
+                        m.rules.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    timings.push(("stale-suppression", t_stale.elapsed().as_nanos() as u64));
+
+    report.violations.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.col.cmp(&b.col))
+            .then_with(|| a.rule.cmp(b.rule))
+    });
+    report.timings = timings;
+    Ok(Analysis { report, workspace, graph })
 }
 
-/// Render a report for terminals: one `file:line: [rule] message` per
-/// violation plus a summary line.
+/// Render a report for terminals: one `file:line:col: [rule] message`
+/// per violation plus a summary line.
 pub fn render_human(report: &Report) -> String {
     let mut s = String::new();
     for v in &report.violations {
-        let _ = writeln!(s, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        let _ = writeln!(s, "{}:{}:{}: [{}] {}", v.file, v.line, v.col, v.rule, v.message);
     }
     if report.is_clean() {
         let _ = writeln!(
@@ -235,7 +387,7 @@ pub fn render_human(report: &Report) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -254,24 +406,33 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Render a report as a single JSON object (machine consumers: CI and
-/// the check.sh gate).
+/// the check.sh gate). Timings are deliberately excluded — the document
+/// is byte-stable for identical inputs.
 pub fn render_json(report: &Report) -> String {
     let mut s = String::new();
     s.push_str("{\"files_scanned\":");
     let _ = write!(s, "{}", report.files_scanned);
     let _ = write!(s, ",\"suppressed\":{}", report.suppressed);
     let _ = write!(s, ",\"clean\":{}", report.is_clean());
-    s.push_str(",\"violations\":[");
+    s.push_str(",\"suppressed_by_rule\":{");
+    for (i, (rule, n)) in report.suppressed_by_rule.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\":{}", json_escape(rule), n);
+    }
+    s.push_str("},\"violations\":[");
     for (i, v) in report.violations.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
         let _ = write!(
             s,
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
             json_escape(v.rule),
             json_escape(&v.file),
             v.line,
+            v.col,
             json_escape(&v.message)
         );
     }
@@ -352,6 +513,23 @@ mod tests {
     }
 
     #[test]
+    fn new_whole_program_rules_are_marker_nameable() {
+        for rule in ["panic-reachability", "determinism-taint"] {
+            let m = format!("sage-lint: allow({rule}) - a perfectly sincere justification");
+            let src = format!("fn f() {{}} // {m}\n");
+            let fr = lint_source(KEY, "x.rs", &src);
+            // Valid marker, nothing to suppress at token level — but no
+            // bad-allow either (staleness is a workspace-level concern).
+            assert!(fr.violations.is_empty(), "{:?}", fr.violations);
+        }
+        // stale-suppression and bad-allow are engine rules, not nameable.
+        let m = "sage-lint: allow(stale-suppression) - trying to suppress the meta rule";
+        let fr = lint_source(KEY, "x.rs", &format!("fn f() {{}} // {m}\n"));
+        assert_eq!(fr.violations.len(), 1);
+        assert_eq!(fr.violations[0].rule, rules::BAD_ALLOW);
+    }
+
+    #[test]
     fn triggers_inside_strings_and_comments_are_invisible() {
         let src = r##"
             // x.unwrap() and println!("boom") and HashMap::new()
@@ -380,11 +558,38 @@ mod tests {
         let report = Report {
             violations: fr.violations,
             files_scanned: 1,
-            suppressed: 0,
+            ..Report::default()
         };
         let j = render_json(&report);
-        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(jsonv::parse(&j).is_ok(), "{j}");
         assert!(j.contains("\"clean\":false"));
         assert!(j.contains("a\\\"b.rs"));
+    }
+
+    /// End-to-end over a synthetic workspace on disk: all three
+    /// whole-program rules fire through `workspace_report`.
+    #[test]
+    fn workspace_pipeline_runs_semantic_rules_and_staleness() {
+        let dir = std::env::temp_dir().join(format!("sage_lint_ws_{}", std::process::id()));
+        let src_dir = dir.join("crates/vecdb/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "struct Flat;\n\
+             impl Flat {\n\
+             pub fn search(&self, q: &[f32]) -> f32 { helper(q) }\n\
+             }\n\
+             fn helper(q: &[f32]) -> f32 { q[0] }\n\
+             // sage-lint: allow(no-print) - nothing here prints; marker is dead on purpose\n\
+             fn quiet() {}\n",
+        )
+        .unwrap();
+        let report = workspace_report(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let rules_seen: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert!(rules_seen.contains(&rules::PANIC_REACHABILITY), "{rules_seen:?}");
+        assert!(rules_seen.contains(&rules::STALE_SUPPRESSION), "{rules_seen:?}");
+        assert_eq!(report.files_scanned, 1);
+        assert_eq!(report.timings.len(), 5, "{:?}", report.timings);
     }
 }

@@ -1,0 +1,639 @@
+//! An item-level Rust parser over the lexed token stream.
+//!
+//! Recovers just enough structure for whole-program analysis: `fn`
+//! definitions (with their body token ranges), `mod`/`impl`/`trait`
+//! nesting (so a method knows its `self` type), and `use` declarations
+//! (so resolution can honour cross-crate imports). Everything else —
+//! struct fields, expressions, generics, macro bodies — is skipped as
+//! opaque token runs.
+//!
+//! The parser never fails: unrecognized constructs advance one token and
+//! continue, so a file the parser half-understands still contributes the
+//! items it did understand. Item spans are exact token index ranges into
+//! the file's token stream (`[start, end)`), which the property tests
+//! round-trip against generated sources.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function with (maybe) a body.
+    Fn,
+    /// An inline module (`mod m { … }`); out-of-line `mod m;` is skipped.
+    Mod,
+    /// An `impl` block (inherent or trait).
+    Impl,
+    /// A `trait` definition (default method bodies are parsed like impls).
+    Trait,
+    /// A `use` declaration; `name` holds the joined path text.
+    Use,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Fn/mod/trait name, impl self-type, or the flattened use path
+    /// (e.g. `std::collections::{HashMap,HashSet}` becomes
+    /// `std::collections::{HashMap,HashSet}` with spaces removed).
+    pub name: String,
+    /// For `impl`: the trait name when this is a trait impl.
+    pub trait_name: Option<String>,
+    /// 1-based line/column of the introducing keyword token.
+    pub line: u32,
+    pub col: u32,
+    /// Token index of the introducing keyword (`fn`/`mod`/`impl`/…).
+    pub tok_start: usize,
+    /// One past the item's final token (`}` or `;`).
+    pub tok_end: usize,
+    /// For fns with a body: the interior token range of `{ … }`
+    /// (excluding the braces). `None` for bodyless trait-method
+    /// declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits in test-only code.
+    pub in_test: bool,
+    /// Nested items (mod/impl/trait children).
+    pub children: Vec<Item>,
+}
+
+/// Keywords that introduce items the parser handles or skips explicitly.
+fn punct(t: &Tok) -> Option<char> {
+    if t.kind == TokKind::Punct { t.text.chars().next() } else { None }
+}
+
+fn is_kw(t: &Tok, kw: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == kw
+}
+
+/// Parse a whole file's token stream into a flat list of top-level items
+/// (with nesting inside).
+pub fn parse_items(tokens: &[Tok]) -> Vec<Item> {
+    let mut i = 0usize;
+    parse_block(tokens, &mut i, tokens.len(), None)
+}
+
+/// Parse items until `end` (exclusive). `self_ty` is the enclosing
+/// impl/trait type for fn items.
+fn parse_block(tokens: &[Tok], i: &mut usize, end: usize, self_ty: Option<&str>) -> Vec<Item> {
+    let mut items = Vec::new();
+    while *i < end {
+        let start = *i;
+        let t = &tokens[start];
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "fn" => {
+                    if let Some(item) = parse_fn(tokens, i, end) {
+                        items.push(item);
+                        continue;
+                    }
+                }
+                "mod" => {
+                    if let Some(item) = parse_mod(tokens, i, end) {
+                        items.push(item);
+                        continue;
+                    }
+                }
+                "impl" => {
+                    if let Some(item) = parse_impl(tokens, i, end) {
+                        items.push(item);
+                        continue;
+                    }
+                }
+                "trait" => {
+                    if let Some(item) = parse_trait(tokens, i, end) {
+                        items.push(item);
+                        continue;
+                    }
+                }
+                "use" => {
+                    if let Some(item) = parse_use(tokens, i, end) {
+                        items.push(item);
+                        continue;
+                    }
+                }
+                // Items whose bodies can contain braces but never nested
+                // fns we need: skip to their extent so stray `fn` tokens
+                // inside (e.g. `Fn` bounds don't lex as `fn`, but a
+                // `macro_rules!` body can hold anything).
+                "struct" | "enum" | "union" | "macro_rules" => {
+                    skip_to_item_end(tokens, i, end);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // `{ … }` blocks we didn't claim (extern blocks, const bodies):
+        // descend is unnecessary; skip them wholesale so a brace-matched
+        // region never desynchronizes the item walk.
+        if punct(t) == Some('{') {
+            *i = skip_braced(tokens, start, end);
+            continue;
+        }
+        *i += 1;
+    }
+    items
+}
+
+/// From a `{` token index, return the index one past its matching `}`.
+fn skip_braced(tokens: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < end {
+        match punct(&tokens[j]) {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Skip an item that ends at a top-level `;` or a braced body, whichever
+/// comes first (struct/enum/const/static/type/macro_rules).
+fn skip_to_item_end(tokens: &[Tok], i: &mut usize, end: usize) {
+    let mut j = *i + 1;
+    let mut nest = 0i64;
+    while j < end {
+        match punct(&tokens[j]) {
+            Some('(') | Some('[') => nest += 1,
+            Some(')') | Some(']') => nest -= 1,
+            Some(';') if nest <= 0 => {
+                *i = j + 1;
+                return;
+            }
+            Some('{') if nest <= 0 => {
+                *i = skip_braced(tokens, j, end);
+                return;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    *i = end;
+}
+
+/// Parse `fn name … { body }` or `fn name …;` starting at the `fn` token.
+fn parse_fn(tokens: &[Tok], i: &mut usize, end: usize) -> Option<Item> {
+    let start = *i;
+    let name_tok = tokens.get(start + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        *i += 1;
+        return None;
+    }
+    // Find the body `{` or terminating `;` at paren/bracket depth 0.
+    // (Const generics in signatures would need brace awareness; the
+    // workspace carries none, and a miss only widens one span.)
+    let mut j = start + 2;
+    let mut nest = 0i64;
+    while j < end {
+        match punct(&tokens[j]) {
+            Some('(') | Some('[') => nest += 1,
+            Some(')') | Some(']') => nest -= 1,
+            Some(';') if nest <= 0 => {
+                let item = Item {
+                    kind: ItemKind::Fn,
+                    name: name_tok.text.clone(),
+                    trait_name: None,
+                    line: tokens[start].line,
+                    col: tokens[start].col,
+                    tok_start: start,
+                    tok_end: j + 1,
+                    body: None,
+                    in_test: tokens[start].in_test,
+                    children: Vec::new(),
+                };
+                *i = j + 1;
+                return Some(item);
+            }
+            Some('{') if nest <= 0 => {
+                let after = skip_braced(tokens, j, end);
+                let item = Item {
+                    kind: ItemKind::Fn,
+                    name: name_tok.text.clone(),
+                    trait_name: None,
+                    line: tokens[start].line,
+                    col: tokens[start].col,
+                    tok_start: start,
+                    tok_end: after,
+                    body: Some((j + 1, after.saturating_sub(1))),
+                    in_test: tokens[start].in_test,
+                    children: Vec::new(),
+                };
+                *i = after;
+                return Some(item);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    *i = end;
+    None
+}
+
+/// Parse `mod name { … }` (inline) or `mod name;` (skipped — the walker
+/// visits the out-of-line file itself).
+fn parse_mod(tokens: &[Tok], i: &mut usize, end: usize) -> Option<Item> {
+    let start = *i;
+    let name_tok = tokens.get(start + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        *i += 1;
+        return None;
+    }
+    match punct(tokens.get(start + 2)?) {
+        Some(';') => {
+            *i = start + 3;
+            None
+        }
+        Some('{') => {
+            let after = skip_braced(tokens, start + 2, end);
+            let mut inner = start + 3;
+            let children = parse_block(tokens, &mut inner, after.saturating_sub(1), None);
+            let item = Item {
+                kind: ItemKind::Mod,
+                name: name_tok.text.clone(),
+                trait_name: None,
+                line: tokens[start].line,
+                col: tokens[start].col,
+                tok_start: start,
+                tok_end: after,
+                body: None,
+                in_test: tokens[start].in_test,
+                children,
+            };
+            *i = after;
+            Some(item)
+        }
+        _ => {
+            *i += 1;
+            None
+        }
+    }
+}
+
+/// Extract the self-type (and trait name, if any) from an impl header:
+/// the tokens between `impl` and its `{`. Handles `impl<T> Type<T>`,
+/// `impl Trait for Type`, and `where` clauses.
+fn impl_header(tokens: &[Tok], after_impl: usize, open: usize) -> (String, Option<String>) {
+    // Skip leading generics `<…>`; a `->` inside bounds must not close
+    // the angle count.
+    let mut j = after_impl;
+    if j < open && punct(&tokens[j]) == Some('<') {
+        let mut depth = 0i64;
+        while j < open {
+            match punct(&tokens[j]) {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    if j > 0 && punct(&tokens[j - 1]) == Some('-') {
+                        // `->` arrow: not a closing angle.
+                    } else {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Split on a top-level `for`; the self type follows it. Without
+    // `for`, the first ident after the generics is the self type.
+    let mut for_at: Option<usize> = None;
+    let mut where_at = open;
+    let mut depth = 0i64;
+    for k in j..open {
+        let t = &tokens[k];
+        match punct(t) {
+            Some('<') => depth += 1,
+            Some('>') if k > 0 && punct(&tokens[k - 1]) != Some('-') => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && is_kw(t, "for") && for_at.is_none() {
+            for_at = Some(k);
+        }
+        if depth == 0 && is_kw(t, "where") {
+            where_at = k;
+            break;
+        }
+    }
+    let first_ident = |from: usize, to: usize| -> String {
+        tokens[from..to]
+            .iter()
+            .find(|t| {
+                t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut" | "const")
+            })
+            .map(|t| t.text.clone())
+            .unwrap_or_default()
+    };
+    match for_at {
+        // `impl Trait for Type`: the *last* path segment of the type is
+        // its name (`live::CorpusWriter` → `CorpusWriter`), so walk idents
+        // and keep the final one before any generic args.
+        Some(f) => {
+            let ty = last_path_segment(tokens, f + 1, where_at);
+            let tr = first_ident(j, f);
+            (ty, if tr.is_empty() { None } else { Some(tr) })
+        }
+        None => (last_path_segment(tokens, j, where_at), None),
+    }
+}
+
+/// The last `::`-path segment head in `tokens[from..to]`, ignoring
+/// generic arguments: `exec::QueryCtx<'_>` → `QueryCtx`.
+fn last_path_segment(tokens: &[Tok], from: usize, to: usize) -> String {
+    let mut name = String::new();
+    let mut depth = 0i64;
+    for k in from..to {
+        let t = &tokens[k];
+        match punct(t) {
+            Some('<') => depth += 1,
+            Some('>') if k > 0 && punct(&tokens[k - 1]) != Some('-') => depth -= 1,
+            _ => {}
+        }
+        if depth == 0
+            && t.kind == TokKind::Ident
+            && !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "crate" | "super" | "self")
+        {
+            name = t.text.clone();
+        }
+    }
+    name
+}
+
+/// Parse `impl … { items }` starting at the `impl` token.
+fn parse_impl(tokens: &[Tok], i: &mut usize, end: usize) -> Option<Item> {
+    let start = *i;
+    // Find the body `{` at angle-aware depth 0 (a `where` clause carries
+    // no braces).
+    let mut j = start + 1;
+    let mut open = None;
+    let mut nest = 0i64;
+    while j < end {
+        match punct(&tokens[j]) {
+            Some('(') | Some('[') => nest += 1,
+            Some(')') | Some(']') => nest -= 1,
+            Some('{') if nest <= 0 => {
+                open = Some(j);
+                break;
+            }
+            Some(';') if nest <= 0 => {
+                // `impl Trait for Type;` (rare, nightly) — skip.
+                *i = j + 1;
+                return None;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let open = open?;
+    let after = skip_braced(tokens, open, end);
+    let (self_ty, trait_name) = impl_header(tokens, start + 1, open);
+    let mut inner = open + 1;
+    let children = parse_block(tokens, &mut inner, after.saturating_sub(1), Some(&self_ty));
+    let item = Item {
+        kind: ItemKind::Impl,
+        name: self_ty,
+        trait_name,
+        line: tokens[start].line,
+        col: tokens[start].col,
+        tok_start: start,
+        tok_end: after,
+        body: None,
+        in_test: tokens[start].in_test,
+        children,
+    };
+    *i = after;
+    Some(item)
+}
+
+/// Parse `trait Name … { items }`; default method bodies become Fn
+/// children exactly like impl methods.
+fn parse_trait(tokens: &[Tok], i: &mut usize, end: usize) -> Option<Item> {
+    let start = *i;
+    let name_tok = tokens.get(start + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        *i += 1;
+        return None;
+    }
+    let mut j = start + 2;
+    let mut open = None;
+    let mut nest = 0i64;
+    while j < end {
+        match punct(&tokens[j]) {
+            Some('(') | Some('[') => nest += 1,
+            Some(')') | Some(']') => nest -= 1,
+            Some('{') if nest <= 0 => {
+                open = Some(j);
+                break;
+            }
+            Some(';') if nest <= 0 => {
+                *i = j + 1;
+                return None;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let open = open?;
+    let after = skip_braced(tokens, open, end);
+    let mut inner = open + 1;
+    let children = parse_block(tokens, &mut inner, after.saturating_sub(1), Some(&name_tok.text));
+    let item = Item {
+        kind: ItemKind::Trait,
+        name: name_tok.text.clone(),
+        trait_name: None,
+        line: tokens[start].line,
+        col: tokens[start].col,
+        tok_start: start,
+        tok_end: after,
+        body: None,
+        in_test: tokens[start].in_test,
+        children,
+    };
+    *i = after;
+    Some(item)
+}
+
+/// Parse `use path::to::{A, B};` into one item whose name is the joined
+/// path text.
+fn parse_use(tokens: &[Tok], i: &mut usize, end: usize) -> Option<Item> {
+    let start = *i;
+    let mut j = start + 1;
+    let mut text = String::new();
+    while j < end {
+        let t = &tokens[j];
+        if punct(t) == Some(';') {
+            let item = Item {
+                kind: ItemKind::Use,
+                name: text,
+                trait_name: None,
+                line: tokens[start].line,
+                col: tokens[start].col,
+                tok_start: start,
+                tok_end: j + 1,
+                body: None,
+                in_test: tokens[start].in_test,
+                children: Vec::new(),
+            };
+            *i = j + 1;
+            return Some(item);
+        }
+        text.push_str(&t.text);
+        j += 1;
+    }
+    *i = end;
+    None
+}
+
+/// Visit every item (and nested children) depth-first, with the enclosing
+/// impl/trait self-type threaded down to fn items.
+pub fn walk<'a, F: FnMut(&'a Item, Option<&'a str>)>(items: &'a [Item], f: &mut F) {
+    fn go<'a, F: FnMut(&'a Item, Option<&'a str>)>(
+        items: &'a [Item],
+        self_ty: Option<&'a str>,
+        f: &mut F,
+    ) {
+        for it in items {
+            f(it, self_ty);
+            let inner_ty = match it.kind {
+                ItemKind::Impl | ItemKind::Trait => Some(it.name.as_str()),
+                _ => None,
+            };
+            go(&it.children, inner_ty.or(self_ty), f);
+        }
+    }
+    go(items, None, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_fn_with_body() {
+        let items = parse("pub fn alpha(x: u32) -> u32 { x + 1 }\nfn beta() {}\n");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "alpha");
+        assert_eq!(items[0].kind, ItemKind::Fn);
+        assert!(items[0].body.is_some());
+        assert_eq!(items[1].name, "beta");
+    }
+
+    #[test]
+    fn impl_methods_carry_self_type() {
+        let src = "
+            struct Engine;
+            impl Engine { fn start(&self) {} fn stop(&self) {} }
+            impl Drop for Engine { fn drop(&mut self) {} }
+        ";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].kind, ItemKind::Impl);
+        assert_eq!(items[0].name, "Engine");
+        assert_eq!(items[0].trait_name, None);
+        let names: Vec<&str> = items[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["start", "stop"]);
+        assert_eq!(items[1].name, "Engine");
+        assert_eq!(items[1].trait_name.as_deref(), Some("Drop"));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_self_type() {
+        let src = "impl<'a, T: Iterator<Item = u8>> Holder<'a, T> where T: Clone { fn get(&self) {} }";
+        let items = parse(src);
+        assert_eq!(items[0].name, "Holder");
+        let src2 = "impl<E: Fn() -> u8> Stage for Wrapper<E> { fn run(&self) {} }";
+        let items2 = parse(src2);
+        assert_eq!(items2[0].name, "Wrapper");
+        assert_eq!(items2[0].trait_name.as_deref(), Some("Stage"));
+    }
+
+    #[test]
+    fn qualified_self_types_take_the_last_segment() {
+        let items = parse("impl exec::QueryCtx<'_> { fn reset(&mut self) {} }");
+        assert_eq!(items[0].name, "QueryCtx");
+    }
+
+    #[test]
+    fn mods_nest() {
+        let src = "mod outer { mod inner { fn deep() {} } fn shallow() {} }";
+        let items = parse(src);
+        assert_eq!(items[0].kind, ItemKind::Mod);
+        assert_eq!(items[0].name, "outer");
+        assert_eq!(items[0].children.len(), 2);
+        assert_eq!(items[0].children[0].name, "inner");
+        assert_eq!(items[0].children[0].children[0].name, "deep");
+        assert_eq!(items[0].children[1].name, "shallow");
+    }
+
+    #[test]
+    fn use_paths_flatten() {
+        let items = parse("use std::collections::{BTreeMap, BTreeSet};\nuse sage_vecdb::FlatIndex;\n");
+        assert_eq!(items[0].kind, ItemKind::Use);
+        assert_eq!(items[0].name, "std::collections::{BTreeMap,BTreeSet}");
+        assert_eq!(items[1].name, "sage_vecdb::FlatIndex");
+    }
+
+    #[test]
+    fn trait_default_methods_are_children() {
+        let src = "trait Greet { fn hello(&self) { wave(); } fn name(&self) -> String; }";
+        let items = parse(src);
+        assert_eq!(items[0].kind, ItemKind::Trait);
+        assert_eq!(items[0].children.len(), 2);
+        assert!(items[0].children[0].body.is_some());
+        assert!(items[0].children[1].body.is_none());
+    }
+
+    #[test]
+    fn spans_cover_their_items_exactly() {
+        let src = "fn a() { inner(1); }\nfn b() {}\n";
+        let toks = lex(src).tokens;
+        let items = parse_items(&toks);
+        let a = &items[0];
+        assert_eq!(toks[a.tok_start].text, "fn");
+        assert_eq!(toks[a.tok_end - 1].text, "}");
+        let (bs, be) = a.body.unwrap();
+        let body_text: Vec<&str> = toks[bs..be].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(body_text, vec!["inner", "(", ")", ";"]);
+        assert_eq!(items[1].tok_start, a.tok_end);
+    }
+
+    #[test]
+    fn struct_bodies_do_not_confuse_the_walk() {
+        let src = "struct S { f: u8 }\nenum E { A { x: u8 }, B }\nfn after() {}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "after");
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let src = "#[cfg(test)] mod tests { fn helper() {} }\nfn live() {}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert!(items[0].in_test);
+        assert!(items[0].children[0].in_test);
+        assert!(!items[1].in_test);
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in ["fn", "impl {", "mod m {", "use a::b", "fn f( {", "trait T", "}}}{{{"] {
+            let _ = parse(src);
+        }
+    }
+}

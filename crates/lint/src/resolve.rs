@@ -1,0 +1,455 @@
+//! Workspace symbol table and call-site resolution.
+//!
+//! Builds one [`Workspace`] from every scanned file's tokens and parsed
+//! items, then resolves the calls inside each fn body to candidate
+//! workspace fns. Resolution is deliberately *over-approximate* — a
+//! method call `.run(…)` resolves to every method named `run` any
+//! allowed crate defines (which is exactly what dynamic dispatch
+//! through `dyn Stage` needs) — and bounded two ways:
+//!
+//! 1. the crate DAG: a call in crate `C` can only resolve into `C`
+//!    itself or crates `C` may depend on ([`crate::rules::allowed_deps`]);
+//! 2. an ambient-method blocklist: ubiquitous std names (`len`, `iter`,
+//!    `map`, …) are assumed panic-free and deterministic rather than
+//!    resolved against every workspace fn that happens to share the
+//!    name, which would connect everything to everything.
+//!
+//! Both bounds are documented limitations of the whole-program rules:
+//! the first is sound (the DAG is machine-enforced by the layering
+//! rule), the second trades a small amount of soundness for a call
+//! graph precise enough to act on.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{Item, ItemKind};
+use crate::rules;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One scanned source file with everything the semantic layer needs.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Crate key (`"core"`, `"text"`, …, `"sage"`).
+    pub key: String,
+    /// The full token stream.
+    pub tokens: Vec<Tok>,
+    /// Parsed item tree.
+    pub items: Vec<Item>,
+}
+
+/// One fn the workspace defines.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Enclosing impl/trait self type, `None` for free fns.
+    pub self_ty: Option<String>,
+    /// The trait an enclosing `impl Trait for Type` implements (or the
+    /// trait itself for default methods).
+    pub trait_name: Option<String>,
+    pub name: String,
+    pub line: u32,
+    pub col: u32,
+    /// Interior token range of the body, `None` for bodyless decls.
+    pub body: Option<(usize, usize)>,
+    pub in_test: bool,
+}
+
+/// The whole-workspace symbol table.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub files: Vec<FileUnit>,
+    pub fns: Vec<FnSym>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Method names so ubiquitous in std that resolving them against
+/// workspace fns would connect everything to everything. Calls to these
+/// are assumed panic-free and deterministic (a documented limitation;
+/// slice indexing and `.unwrap()`/`.expect()` are caught as direct
+/// sources instead, wherever they occur).
+const AMBIENT_METHODS: &[&str] = &[
+    // conversion / borrowing
+    "clone", "to_string", "to_owned", "to_vec", "into", "as_ref", "as_mut", "as_str",
+    "as_bytes", "as_slice", "borrow", "borrow_mut", "to_le_bytes", "to_be_bytes", "copied",
+    "cloned", "into_owned",
+    // str / slices
+    "chars", "bytes", "split", "split_whitespace", "splitn", "lines", "trim", "trim_start",
+    "trim_end", "starts_with", "ends_with", "contains", "find", "rfind", "parse", "repeat",
+    "to_lowercase", "to_uppercase", "to_ascii_lowercase", "char_indices", "strip_prefix",
+    "strip_suffix", "windows", "chunks", "concat", "join", "fill", "split_at", "split_first",
+    "split_last",
+    // collections
+    "len", "is_empty", "iter", "iter_mut", "into_iter", "push", "push_str", "pop", "insert",
+    "remove", "clear", "extend", "extend_from_slice", "append", "truncate", "resize",
+    "retain", "drain", "reserve", "shrink_to_fit", "swap", "swap_remove", "dedup", "get",
+    "get_mut", "first", "last", "entry", "or_insert", "or_insert_with", "or_default",
+    "keys", "values", "values_mut", "contains_key", "range", "capacity",
+    // ordering / sorting
+    "sort", "sort_by", "sort_by_key", "sort_unstable", "sort_unstable_by",
+    "sort_unstable_by_key", "binary_search", "binary_search_by", "reverse", "cmp",
+    "partial_cmp", "then", "then_with", "eq", "ne", "lt", "le", "gt", "ge", "hash",
+    // Option / Result / Iterator combinators
+    "map", "map_err", "map_or", "and_then", "or_else", "unwrap_or", "unwrap_or_else",
+    "unwrap_or_default", "ok", "err", "ok_or", "ok_or_else", "is_some", "is_none", "is_ok",
+    "is_err", "take", "filter", "filter_map", "flat_map", "fold", "sum", "product", "count",
+    "enumerate", "zip", "rev", "skip", "take_while", "skip_while", "chain", "collect",
+    "any", "all", "position", "min", "max", "min_by", "max_by", "min_by_key", "max_by_key",
+    "next", "peekable", "peek", "step_by", "flatten", "inspect", "by_ref", "unzip",
+    "partition", "reduce", "nth", "last", "copied", "scan",
+    // numerics
+    "abs", "sqrt", "ln", "log2", "log10", "exp", "powi", "powf", "floor", "ceil", "round",
+    "clamp", "is_nan", "is_finite", "to_bits", "from_bits", "saturating_add",
+    "saturating_sub", "saturating_mul", "wrapping_add", "wrapping_sub", "wrapping_mul",
+    "checked_add", "checked_sub", "checked_mul", "checked_div", "pow", "rem_euclid",
+    "div_euclid", "signum", "leading_zeros", "trailing_zeros", "count_ones", "max_element",
+    "min_element", "is_sign_negative", "is_sign_positive", "mul_add", "recip", "hypot",
+    // fmt / io plumbing
+    "fmt", "flush", "write_all", "write_fmt", "read_to_string", "read_to_end", "read_exact",
+    "sync_all", "sync_data", "seek", "metadata", "set_len", "rewind",
+    // sync
+    "lock", "read", "load", "store", "fetch_add", "fetch_sub", "compare_exchange",
+    "swap", "fence", "unwrap", "expect",
+];
+
+/// Keywords and constructor-like idents that look like free calls but
+/// never resolve to workspace fns.
+const FREE_CALL_EXCLUDED: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "move", "unsafe", "as", "in",
+    "else", "let", "ref", "mut", "await", "yield", "where", "impl", "dyn",
+];
+
+fn punct(t: &Tok) -> Option<char> {
+    if t.kind == TokKind::Punct { t.text.chars().next() } else { None }
+}
+
+fn lower_start(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+impl Workspace {
+    /// Build the symbol table from pre-lexed, pre-parsed files.
+    pub fn build(files: Vec<FileUnit>) -> Workspace {
+        let mut ws = Workspace { files, fns: Vec::new(), by_name: BTreeMap::new() };
+        for fi in 0..ws.files.len() {
+            // Move the items out briefly to appease the borrow checker;
+            // collection only reads them.
+            let items = std::mem::take(&mut ws.files[fi].items);
+            collect_fns(&items, fi, None, None, &mut ws.fns);
+            ws.files[fi].items = items;
+        }
+        // Deterministic symbol ids: files are walked in sorted order and
+        // items in source order, so the vec order is already stable.
+        for (id, f) in ws.fns.iter().enumerate() {
+            ws.by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        ws
+    }
+
+    /// Fully-qualified display name for diagnostics:
+    /// `core::EmbedStage::run` or `text::normalize`.
+    pub fn display(&self, id: usize) -> String {
+        let f = &self.fns[id];
+        let key = &self.files[f.file].key;
+        match &f.self_ty {
+            Some(ty) => format!("{key}::{ty}::{}", f.name),
+            None => format!("{key}::{}", f.name),
+        }
+    }
+
+    /// All fn ids named `name`.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Resolve every call site in `fn_id`'s body to candidate callees,
+    /// deduplicated and sorted. Returns an empty list for bodyless fns.
+    pub fn callees(&self, fn_id: usize) -> Vec<usize> {
+        let f = &self.fns[fn_id];
+        let Some((b0, b1)) = f.body else { return Vec::new() };
+        let file = &self.files[f.file];
+        let toks = &file.tokens;
+        let mut allowed: BTreeSet<&str> = rules::allowed_deps(&file.key).into_iter().collect();
+        allowed.insert(file.key.as_str());
+
+        let crate_ok = |id: &usize| allowed.contains(self.files[self.fns[*id].file].key.as_str());
+        let mut out: BTreeSet<usize> = BTreeSet::new();
+
+        for j in b0..b1.min(toks.len()) {
+            let t = &toks[j];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if !toks.get(j + 1).is_some_and(|n| punct(n) == Some('(')) {
+                continue;
+            }
+            let name = t.text.as_str();
+            let prev = j.checked_sub(1).map(|p| &toks[p]);
+            let prev_char = prev.and_then(punct);
+
+            if prev_char == Some('.') {
+                // Method call. Ambient std names are assumed benign.
+                if AMBIENT_METHODS.contains(&name) {
+                    continue;
+                }
+                // `self.helper()` pins the receiver type when we know it.
+                let via_self = j >= 2
+                    && toks[j - 2].kind == TokKind::Ident
+                    && toks[j - 2].text == "self"
+                    && !(j >= 3 && punct(&toks[j - 3]) == Some('.'));
+                let mut ids: Vec<usize> = self
+                    .named(name)
+                    .iter()
+                    .filter(|id| self.fns[**id].self_ty.is_some() && crate_ok(id))
+                    .copied()
+                    .collect();
+                if via_self {
+                    if let Some(own_ty) = &f.self_ty {
+                        let pinned: Vec<usize> = ids
+                            .iter()
+                            .filter(|id| self.fns[**id].self_ty.as_deref() == Some(own_ty))
+                            .copied()
+                            .collect();
+                        if !pinned.is_empty() {
+                            ids = pinned;
+                        }
+                    }
+                }
+                out.extend(ids);
+                continue;
+            }
+
+            let qualified = j >= 2
+                && punct(&toks[j - 1]) == Some(':')
+                && punct(&toks[j - 2]) == Some(':');
+            if qualified {
+                // Walk the `a::b::Name::call(` path backwards for the
+                // qualifier segment and any `sage_<crate>` hint.
+                let mut segs: Vec<&str> = Vec::new();
+                let mut k = j;
+                while k >= 3
+                    && punct(&toks[k - 1]) == Some(':')
+                    && punct(&toks[k - 2]) == Some(':')
+                    && toks[k - 3].kind == TokKind::Ident
+                {
+                    segs.push(toks[k - 3].text.as_str());
+                    k -= 3;
+                }
+                let qual = segs.first().copied().unwrap_or("");
+                let crate_hint = segs
+                    .iter()
+                    .find_map(|s| s.strip_prefix("sage_"))
+                    .filter(|c| rules::WORKSPACE_CRATES.contains(c));
+                let hint_ok = |id: &usize| {
+                    crate_hint
+                        .is_none_or(|c| self.files[self.fns[*id].file].key == c)
+                };
+                let qual_ty: Option<&str> = match qual {
+                    "Self" => f.self_ty.as_deref(),
+                    q if !q.is_empty() && !lower_start(q) => Some(q),
+                    _ => None,
+                };
+                match qual_ty {
+                    Some(ty) => {
+                        // `Type::assoc(…)`: exact (self_ty, name) match.
+                        out.extend(self.named(name).iter().filter(|id| {
+                            self.fns[**id].self_ty.as_deref() == Some(ty)
+                                && crate_ok(id)
+                                && hint_ok(id)
+                        }));
+                    }
+                    None => {
+                        // `module::free_fn(…)`.
+                        out.extend(self.named(name).iter().filter(|id| {
+                            self.fns[**id].self_ty.is_none() && crate_ok(id) && hint_ok(id)
+                        }));
+                    }
+                }
+                continue;
+            }
+
+            // Free call: `helper(…)`. Definitions (`fn helper(`), keywords,
+            // and TitleCase tuple-struct constructors are excluded.
+            if prev.is_some_and(|p| p.kind == TokKind::Ident && p.text == "fn") {
+                continue;
+            }
+            if !lower_start(name) || FREE_CALL_EXCLUDED.contains(&name) {
+                continue;
+            }
+            out.extend(
+                self.named(name)
+                    .iter()
+                    .filter(|id| self.fns[**id].self_ty.is_none() && crate_ok(id)),
+            );
+        }
+        out.into_iter().collect()
+    }
+}
+
+/// Depth-first fn collection threading the enclosing impl/trait context.
+fn collect_fns(
+    items: &[Item],
+    file: usize,
+    self_ty: Option<&str>,
+    trait_name: Option<&str>,
+    out: &mut Vec<FnSym>,
+) {
+    for it in items {
+        match it.kind {
+            ItemKind::Fn => out.push(FnSym {
+                file,
+                self_ty: self_ty.map(str::to_string),
+                trait_name: trait_name.map(str::to_string),
+                name: it.name.clone(),
+                line: it.line,
+                col: it.col,
+                body: it.body,
+                in_test: it.in_test,
+            }),
+            ItemKind::Mod => collect_fns(&it.children, file, None, None, out),
+            ItemKind::Impl => collect_fns(
+                &it.children,
+                file,
+                Some(&it.name),
+                it.trait_name.as_deref(),
+                out,
+            ),
+            ItemKind::Trait => {
+                collect_fns(&it.children, file, Some(&it.name), Some(&it.name), out)
+            }
+            ItemKind::Use => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    fn ws(files: &[(&str, &str, &str)]) -> Workspace {
+        let units = files
+            .iter()
+            .map(|(rel, key, src)| {
+                let tokens = lex(src).tokens;
+                let items = parse_items(&tokens);
+                FileUnit {
+                    rel: rel.to_string(),
+                    key: key.to_string(),
+                    tokens,
+                    items,
+                }
+            })
+            .collect();
+        Workspace::build(units)
+    }
+
+    fn id_of(w: &Workspace, disp: &str) -> usize {
+        (0..w.fns.len())
+            .find(|&i| w.display(i) == disp)
+            .unwrap_or_else(|| panic!("no fn {disp}"))
+    }
+
+    #[test]
+    fn free_calls_resolve_within_crate() {
+        let w = ws(&[(
+            "crates/text/src/lib.rs",
+            "text",
+            "fn outer() { helper(1); }\nfn helper(x: u32) {}\n",
+        )]);
+        let outer = id_of(&w, "text::outer");
+        let helper = id_of(&w, "text::helper");
+        assert_eq!(w.callees(outer), vec![helper]);
+    }
+
+    #[test]
+    fn method_calls_resolve_across_allowed_crates_only() {
+        let w = ws(&[
+            (
+                "crates/retrieval/src/lib.rs",
+                "retrieval",
+                "struct R; impl R { fn go(&self, ix: &dyn Ix) { ix.search(3); } }",
+            ),
+            (
+                "crates/vecdb/src/lib.rs",
+                "vecdb",
+                "struct Flat; impl Flat { fn search(&self, k: usize) {} }",
+            ),
+            (
+                "crates/core/src/lib.rs",
+                "core",
+                "struct Snap; impl Snap { fn search(&self, k: usize) {} }",
+            ),
+        ]);
+        let go = id_of(&w, "retrieval::R::go");
+        // retrieval may reach vecdb's search but never core's.
+        assert_eq!(w.callees(go), vec![id_of(&w, "vecdb::Flat::search")]);
+    }
+
+    #[test]
+    fn ambient_methods_do_not_resolve() {
+        let w = ws(&[
+            (
+                "crates/core/src/a.rs",
+                "core",
+                "fn f(v: &[u8]) { let _ = v.len(); v.iter().count(); }",
+            ),
+            (
+                "crates/embed/src/b.rs",
+                "embed",
+                "struct E; impl E { fn len(&self) -> usize { 0 } }",
+            ),
+        ]);
+        assert!(w.callees(id_of(&w, "core::f")).is_empty());
+    }
+
+    #[test]
+    fn qualified_calls_pin_the_type() {
+        let w = ws(&[(
+            "crates/core/src/live/mod.rs",
+            "core",
+            "struct W; impl W { fn open() -> W { W } fn go(&self) {} }\n\
+             struct V; impl V { fn open() -> V { V } }\n\
+             fn boot() { let w = W::open(); }",
+        )]);
+        assert_eq!(w.callees(id_of(&w, "core::boot")), vec![id_of(&w, "core::W::open")]);
+    }
+
+    #[test]
+    fn self_calls_use_the_enclosing_impl_type() {
+        let w = ws(&[(
+            "crates/core/src/x.rs",
+            "core",
+            "struct A; impl A { fn top(&self) { self.step(); Self::boot(); } \
+             fn step(&self) {} fn boot() {} }\n\
+             struct B; impl B { fn step(&self) {} }",
+        )]);
+        let callees = w.callees(id_of(&w, "core::A::top"));
+        assert_eq!(callees, vec![id_of(&w, "core::A::step"), id_of(&w, "core::A::boot")]);
+    }
+
+    #[test]
+    fn crate_hinted_paths_restrict_resolution() {
+        let w = ws(&[
+            (
+                "crates/core/src/a.rs",
+                "core",
+                "fn f() { sage_text::normalize(\"x\"); }\nfn normalize(s: &str) {}\n",
+            ),
+            ("crates/text/src/lib.rs", "text", "pub fn normalize(s: &str) {}"),
+        ]);
+        assert_eq!(w.callees(id_of(&w, "core::f")), vec![id_of(&w, "text::normalize")]);
+    }
+
+    #[test]
+    fn trait_default_methods_are_symbols() {
+        let w = ws(&[(
+            "crates/retrieval/src/lib.rs",
+            "retrieval",
+            "trait Retriever { fn retrieve(&self) { self.prep(); } fn prep(&self); }",
+        )]);
+        let r = id_of(&w, "retrieval::Retriever::retrieve");
+        assert_eq!(w.callees(r), vec![id_of(&w, "retrieval::Retriever::prep")]);
+    }
+}

@@ -38,6 +38,24 @@ pub const MUTATION_BEHIND_WRITER: &str = "mutation-behind-writer";
 /// policy; call sites scattered elsewhere could double-count a query or
 /// seal windows off-grid, silently skewing what `sage report` retains.
 pub const RECORDER_BEHIND_OBS: &str = "recorder-behind-obs";
+/// Whole-program rule: a serving entry point (executor stages, vecdb /
+/// retriever search, the live apply path) must not *transitively* reach
+/// a panic site — `panic!`-family macros, `.unwrap()`/`.expect()`, or a
+/// slice index — except through a `catch_unwind` boundary fn. The
+/// token-level `no-panic-serving` rule sees only direct occurrences;
+/// this one walks the intra-workspace call graph.
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
+/// Whole-program rule: values derived from wall-clock reads, `HashMap`/
+/// `HashSet` iteration, or Relaxed atomics must not flow into
+/// byte-comparable serialized outputs (soak event logs, BENCH_*.json,
+/// segment/manifest bytes). Checked as call-graph reachability from the
+/// declared sink fns to nondeterminism source tokens.
+pub const DETERMINISM_TAINT: &str = "determinism-taint";
+/// Engine-level rule: a valid `allow`/`allow-file` marker that no longer
+/// suppresses any live violation (token or semantic) is itself an error,
+/// keeping the suppression inventory honest across refactors. Not
+/// suppressible and not a valid name inside a marker.
+pub const STALE_SUPPRESSION: &str = "stale-suppression";
 /// Engine-level rule for malformed or unjustified suppression markers.
 /// Not suppressible and not a valid name inside a marker.
 pub const BAD_ALLOW: &str = "bad-allow";
@@ -53,6 +71,26 @@ pub const ALL_RULES: &[&str] = &[
     UNWIND_BOUNDARY,
     MUTATION_BEHIND_WRITER,
     RECORDER_BEHIND_OBS,
+    PANIC_REACHABILITY,
+    DETERMINISM_TAINT,
+];
+
+/// Every rule the engine can report, suppressible or not — the ratchet
+/// file tracks all of them.
+pub const REPORTABLE_RULES: &[&str] = &[
+    NO_PRINT,
+    NO_PANIC_SERVING,
+    DETERMINISTIC_ITERATION,
+    NO_WALLCLOCK,
+    LAYERING,
+    RELAXED_ATOMICS,
+    UNWIND_BOUNDARY,
+    MUTATION_BEHIND_WRITER,
+    RECORDER_BEHIND_OBS,
+    PANIC_REACHABILITY,
+    DETERMINISM_TAINT,
+    STALE_SUPPRESSION,
+    BAD_ALLOW,
 ];
 
 /// Crates on the query serving path, where a panic is an outage.
@@ -122,6 +160,27 @@ pub fn layering_allows(crate_key: &str, dep: &str) -> Option<bool> {
     Some(false)
 }
 
+/// Every crate `crate_key` may directly depend on, per the same DAG the
+/// layering rule enforces. Symbol resolution uses this to bound which
+/// crates a call can resolve into. Binaries and the facade may reach
+/// everything.
+pub fn allowed_deps(crate_key: &str) -> Vec<&'static str> {
+    match base_allowed(crate_key) {
+        Some(base) => {
+            let mut out: Vec<&'static str> = base.to_vec();
+            if !base.is_empty() {
+                for leaf in ["telemetry", "resilience"] {
+                    if !out.contains(&leaf) {
+                        out.push(leaf);
+                    }
+                }
+            }
+            out
+        }
+        None => WORKSPACE_CRATES.to_vec(),
+    }
+}
+
 fn punct(t: &Tok) -> Option<char> {
     if t.kind == TokKind::Punct {
         t.text.chars().next()
@@ -164,6 +223,7 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
                     NO_PRINT,
                     file,
                     t.line,
+                    t.col,
                     format!(
                         "`{word}!` in library crate `{crate_key}`; return data and let \
                          the CLI or a telemetry exporter own the output stream"
@@ -175,6 +235,7 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
                     DETERMINISTIC_ITERATION,
                     file,
                     t.line,
+                    t.col,
                     format!(
                         "`{word}` in library code: iteration order depends on \
                          RandomState; use BTreeMap/BTreeSet, sort before emitting, \
@@ -187,6 +248,7 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
                     NO_WALLCLOCK,
                     file,
                     t.line,
+                    t.col,
                     format!(
                         "`{word}` outside the telemetry crate: wall-clock reads make \
                          runs non-reproducible; route timing through telemetry spans"
@@ -198,6 +260,7 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
                     RELAXED_ATOMICS,
                     file,
                     t.line,
+                    t.col,
                     "`Ordering::Relaxed` outside telemetry counters: prove the value \
                      carries no cross-thread ordering dependency or use Acquire/Release"
                         .to_string(),
@@ -221,6 +284,7 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
                     NO_PANIC_SERVING,
                     file,
                     t.line,
+                    t.col,
                     format!(
                         "`{shown}` on the serving path (crate `{crate_key}`): \
                          propagate a Result or degrade via sage-resilience"
@@ -244,6 +308,7 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
                 MUTATION_BEHIND_WRITER,
                 file,
                 t.line,
+                t.col,
                 format!(
                     "`{word}` outside sage-core's live module: corpus mutation is \
                      only sound behind the single CorpusWriter (epoch snapshots, \
@@ -266,6 +331,7 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
                 RECORDER_BEHIND_OBS,
                 file,
                 t.line,
+                t.col,
                 format!(
                     "`{word}` outside the obs layer: flight-recorder capture and \
                      window sealing encode the retention policy; route observations \
@@ -279,6 +345,7 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
                 UNWIND_BOUNDARY,
                 file,
                 t.line,
+                t.col,
                 "`catch_unwind` in sage-core outside src/exec/: panic-recovery \
                  boundaries belong to the execution engine; route the call through \
                  exec::execute_caught"
@@ -292,6 +359,7 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
                     LAYERING,
                     file,
                     t.line,
+                    t.col,
                     format!(
                         "crate `{crate_key}` must not depend on `sage_{dep}`: the \
                          workspace DAG keeps layers acyclic and leaves leaf-importable"

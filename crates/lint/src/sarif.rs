@@ -1,0 +1,141 @@
+//! SARIF 2.1.0 output and a well-formedness validator.
+//!
+//! The renderer emits the minimal static-analysis interchange shape CI
+//! viewers consume: one run, one driver, a rule table, and one result
+//! per violation with a physical location. The validator parses a SARIF
+//! document back (via [`crate::jsonv`]) and checks the invariants the
+//! renderer promises — `scripts/check.sh` round-trips every lint run
+//! through it so a malformed emit fails the gate rather than silently
+//! uploading garbage.
+
+use crate::jsonv::{self, Value};
+use crate::{json_escape, Report};
+use std::fmt::Write as _;
+
+/// Render a workspace report as a SARIF 2.1.0 document.
+pub fn render(report: &Report) -> String {
+    // The rule table lists every reportable rule, indexed so results can
+    // reference them by id; descriptions double as the help text.
+    let mut s = String::from(
+        "{\"version\":\"2.1.0\",\
+         \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"runs\":[{\"tool\":{\"driver\":{\"name\":\"sage-lint\",\
+         \"informationUri\":\"DESIGN.md\",\"rules\":[",
+    );
+    for (i, rule) in crate::rules::REPORTABLE_RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"id\":\"{}\"}}", json_escape(rule));
+    }
+    s.push_str("]}},\"results\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\
+             \"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_escape(v.rule),
+            json_escape(&v.message),
+            json_escape(&v.file),
+            v.line.max(1),
+            v.col.max(1),
+        );
+    }
+    s.push_str("]}]}");
+    s
+}
+
+/// Validate that `text` is a well-formed SARIF 2.1.0 document with the
+/// shape [`render`] promises. Returns the number of results on success.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let doc = jsonv::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    if doc.get("version").and_then(Value::as_str) != Some("2.1.0") {
+        return Err("missing or wrong `version` (want \"2.1.0\")".to_string());
+    }
+    let runs = doc.get("runs").and_then(Value::as_arr).ok_or("`runs` missing or not an array")?;
+    if runs.is_empty() {
+        return Err("`runs` is empty".to_string());
+    }
+    let run = &runs[0];
+    run.path(&["tool", "driver", "name"])
+        .and_then(Value::as_str)
+        .filter(|n| !n.is_empty())
+        .ok_or("`runs[0].tool.driver.name` missing")?;
+    let results = run
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("`runs[0].results` missing or not an array")?;
+    for (i, r) in results.iter().enumerate() {
+        r.get("ruleId")
+            .and_then(Value::as_str)
+            .filter(|id| !id.is_empty())
+            .ok_or_else(|| format!("result {i}: `ruleId` missing"))?;
+        r.path(&["message", "text"])
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("result {i}: `message.text` missing"))?;
+        let loc = r
+            .path(&["locations", "0", "physicalLocation"])
+            .ok_or_else(|| format!("result {i}: no physical location"))?;
+        loc.path(&["artifactLocation", "uri"])
+            .and_then(Value::as_str)
+            .filter(|u| !u.is_empty())
+            .ok_or_else(|| format!("result {i}: `artifactLocation.uri` missing"))?;
+        let line = loc
+            .path(&["region", "startLine"])
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("result {i}: `region.startLine` missing"))?;
+        if line < 1.0 {
+            return Err(format!("result {i}: `startLine` must be >= 1"));
+        }
+    }
+    Ok(results.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Violation;
+
+    fn report_with(violations: Vec<Violation>) -> Report {
+        Report { violations, files_scanned: 2, suppressed: 1, ..Report::default() }
+    }
+
+    #[test]
+    fn clean_report_round_trips() {
+        let text = render(&report_with(Vec::new()));
+        assert_eq!(validate(&text), Ok(0));
+    }
+
+    #[test]
+    fn violations_round_trip_with_locations() {
+        let v = Violation::new(
+            crate::rules::NO_PRINT,
+            "crates/text/src/lib.rs",
+            7,
+            13,
+            "a \"quoted\" message\nwith a newline".to_string(),
+        );
+        let text = render(&report_with(vec![v]));
+        assert_eq!(validate(&text), Ok(1));
+        let doc = crate::jsonv::parse(&text).unwrap();
+        assert_eq!(
+            doc.path(&["runs", "0", "results", "0", "locations", "0", "physicalLocation", "region", "startLine"])
+                .and_then(crate::jsonv::Value::as_f64),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"version\":\"2.1.0\",\"runs\":[]}").is_err());
+        assert!(validate("{\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"x\"}},\"results\":[{\"ruleId\":\"r\"}]}]}").is_err());
+        assert!(validate("not json").is_err());
+    }
+}

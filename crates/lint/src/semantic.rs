@@ -1,0 +1,466 @@
+//! The whole-program rules: panic-reachability and determinism-taint.
+//!
+//! Both are reachability sweeps over the intra-workspace call graph.
+//! Panic-reachability walks *forward* from the serving entry points
+//! (executor stages, vecdb/retriever search, the live apply path) and
+//! reports every panic site the walk can reach, stopping at unwind
+//! boundaries (any fn whose body contains `catch_unwind`).
+//! Determinism-taint walks forward from the declared serialization
+//! sinks (soak event logs, BENCH_*.json renderers, segment/manifest
+//! encoders) and reports every nondeterminism source the walk reaches.
+//!
+//! Violations are anchored at the *source site* (the unwrap, the
+//! `Instant`, the slice index), not the entry point: that is where the
+//! fix or the justification goes, and it lets the ordinary suppression
+//! machinery (a `panic-reachability` / `determinism-taint` marker on the
+//! offending line or file) handle them like any other rule.
+//!
+//! Honest limitations, also documented in DESIGN.md: resolution is
+//! name-based and over-approximate (see [`crate::resolve`]); ambient
+//! std methods are assumed benign; and taint tracks *call* reachability,
+//! not data flow — a value laundered through a struct field between two
+//! unconnected fns is invisible. The rules are a ratchet against
+//! regressions on the paths that matter, not a proof engine.
+
+use crate::callgraph::Graph;
+use crate::lexer::{AllowMarker, Tok, TokKind};
+use crate::resolve::Workspace;
+use crate::rules;
+use crate::Violation;
+use std::collections::BTreeSet;
+
+/// A pattern selecting workspace fns as analysis roots.
+#[derive(Debug, Clone, Copy)]
+pub struct Spec {
+    pub crate_key: &'static str,
+    pub name: &'static str,
+    /// Require this exact impl/trait self type.
+    pub self_ty: Option<&'static str>,
+    /// Require the enclosing impl to implement this trait.
+    pub trait_name: Option<&'static str>,
+    /// Require the file path to contain this fragment.
+    pub file_contains: Option<&'static str>,
+    /// Require a free fn (no self type).
+    pub free: bool,
+}
+
+impl Spec {
+    const fn method(crate_key: &'static str, name: &'static str) -> Spec {
+        Spec { crate_key, name, self_ty: None, trait_name: None, file_contains: None, free: false }
+    }
+
+    /// Human-oriented description for drift diagnostics.
+    pub fn describe(&self) -> String {
+        let mut s = format!("{}::", self.crate_key);
+        if let Some(ty) = self.self_ty {
+            s.push_str(ty);
+            s.push_str("::");
+        } else if let Some(tr) = self.trait_name {
+            s.push('<');
+            s.push_str(tr);
+            s.push_str(">::");
+        }
+        s.push_str(self.name);
+        if let Some(f) = self.file_contains {
+            s.push_str(" (in ");
+            s.push_str(f);
+            s.push(')');
+        }
+        s
+    }
+
+    fn matches(&self, ws: &Workspace, id: usize) -> bool {
+        let f = &ws.fns[id];
+        let file = &ws.files[f.file];
+        file.key == self.crate_key
+            && f.name == self.name
+            && !f.in_test
+            && self.self_ty.is_none_or(|t| f.self_ty.as_deref() == Some(t))
+            && self.trait_name.is_none_or(|t| f.trait_name.as_deref() == Some(t))
+            && self.file_contains.is_none_or(|s| file.rel.contains(s))
+            && (!self.free || f.self_ty.is_none())
+    }
+}
+
+/// The serving entry points: the fns an external caller (CLI, soak
+/// harness, live drill) drives directly on the query path. A panic
+/// reachable from any of these without an intervening unwind boundary
+/// can abort serving.
+pub const SERVING_ENTRIES: &[Spec] = &[
+    // Every executor stage, via the Stage trait impls.
+    Spec { trait_name: Some("Stage"), file_contains: Some("/exec/"), ..Spec::method("core", "run") },
+    // The executor itself (execute_caught is the unwind boundary and is
+    // discovered as such, not listed).
+    Spec { free: true, file_contains: Some("/exec/"), ..Spec::method("core", "execute") },
+    Spec { free: true, file_contains: Some("/exec/"), ..Spec::method("core", "execute_fixed") },
+    Spec { free: true, file_contains: Some("/exec/"), ..Spec::method("core", "run_prelude") },
+    // Vector search, all index impls.
+    Spec::method("vecdb", "search"),
+    Spec::method("vecdb", "search_batch"),
+    // Retrieval surface.
+    Spec::method("retrieval", "retrieve"),
+    Spec::method("retrieval", "search_with"),
+    Spec::method("retrieval", "embed_query"),
+    // The live-corpus apply/read/recover path.
+    Spec { self_ty: Some("CorpusWriter"), file_contains: Some("/live/"), ..Spec::method("core", "commit") },
+    Spec { self_ty: Some("CorpusWriter"), file_contains: Some("/live/"), ..Spec::method("core", "open") },
+    Spec { self_ty: Some("LiveSnapshot"), file_contains: Some("/live/"), ..Spec::method("core", "search") },
+    Spec { free: true, file_contains: Some("/live/"), ..Spec::method("core", "recover") },
+];
+
+/// The serialization sinks whose output is byte-compared across runs:
+/// soak event logs, the committed BENCH_*.json artifacts, and the live
+/// store's segment/manifest encoders.
+pub const DETERMINISM_SINKS: &[Spec] = &[
+    Spec { file_contains: Some("src/soak.rs"), ..Spec::method("core", "json_summary") },
+    Spec { file_contains: Some("live/soak.rs"), ..Spec::method("core", "json_summary") },
+    Spec { free: true, file_contains: Some("/live/"), ..Spec::method("core", "encode_segment") },
+    Spec { free: true, file_contains: Some("/live/"), ..Spec::method("core", "encode_manifest") },
+    Spec { file_contains: Some("scenario.rs"), ..Spec::method("obs", "to_json") },
+    Spec { free: true, file_contains: Some("scenario.rs"), ..Spec::method("obs", "render_rows") },
+    Spec { file_contains: Some("bundle.rs"), ..Spec::method("obs", "render") },
+    Spec { file_contains: Some("bundle.rs"), ..Spec::method("obs", "to_json") },
+    Spec { file_contains: Some("slo.rs"), ..Spec::method("obs", "gauges") },
+];
+
+/// Resolve a spec list against the workspace. Returns matching fn ids.
+fn resolve_specs(ws: &Workspace, specs: &[Spec]) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for spec in specs {
+        out.extend((0..ws.fns.len()).filter(|&id| spec.matches(ws, id)));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Entry specs that matched no fn — config drift after a refactor. The
+/// tier-1 test asserts this is empty against the real workspace (a
+/// synthetic test workspace legitimately matches only a subset).
+pub fn unmatched_specs(ws: &Workspace, specs: &[Spec]) -> Vec<String> {
+    specs
+        .iter()
+        .filter(|s| !(0..ws.fns.len()).any(|id| s.matches(ws, id)))
+        .map(Spec::describe)
+        .collect()
+}
+
+/// Fns whose bodies contain `catch_unwind`: unwind boundaries. The walk
+/// records but never crosses them, and their own panic sites are
+/// absorbed by definition.
+pub fn boundaries(ws: &Workspace) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        let Some((b0, b1)) = f.body else { continue };
+        let toks = &ws.files[f.file].tokens;
+        if toks[b0..b1.min(toks.len())]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "catch_unwind")
+        {
+            out.insert(id);
+        }
+    }
+    out
+}
+
+fn punct(t: &Tok) -> Option<char> {
+    if t.kind == TokKind::Punct { t.text.chars().next() } else { None }
+}
+
+/// Idents that legitimately precede `[` without forming an index
+/// expression (array literals, array types after keywords).
+const NON_INDEX_PREV: &[&str] = &[
+    "in", "return", "break", "continue", "else", "match", "let", "mut", "ref", "unsafe",
+    "dyn", "where", "use", "pub", "fn", "impl", "struct", "enum", "trait", "type", "const",
+    "static", "for", "while", "loop", "if", "as", "move", "async", "await",
+];
+
+/// One panic or nondeterminism source token site.
+struct Source {
+    line: u32,
+    col: u32,
+    what: String,
+}
+
+/// Scan a fn body for panic sites: panic-family macros, `.unwrap()` /
+/// `.expect()`, and slice-index expressions.
+fn panic_sources(toks: &[Tok], b0: usize, b1: usize) -> Vec<Source> {
+    let mut out = Vec::new();
+    for j in b0..b1.min(toks.len()) {
+        let t = &toks[j];
+        if t.in_test {
+            continue;
+        }
+        let next = toks.get(j + 1);
+        let prev = j.checked_sub(1).map(|p| &toks[p]);
+        if t.kind == TokKind::Ident {
+            if matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                && next.is_some_and(|n| punct(n) == Some('!'))
+            {
+                out.push(Source { line: t.line, col: t.col, what: format!("{}!", t.text) });
+            }
+            if matches!(t.text.as_str(), "unwrap" | "expect")
+                && prev.is_some_and(|p| punct(p) == Some('.'))
+                && next.is_some_and(|n| punct(n) == Some('('))
+            {
+                out.push(Source { line: t.line, col: t.col, what: format!(".{}()", t.text) });
+            }
+        } else if punct(t) == Some('[') {
+            let indexish = prev.is_some_and(|p| match p.kind {
+                TokKind::Ident => !NON_INDEX_PREV.contains(&p.text.as_str()),
+                TokKind::Punct => matches!(punct(p), Some(')') | Some(']')),
+            });
+            if indexish {
+                out.push(Source { line: t.line, col: t.col, what: "slice index".to_string() });
+            }
+        }
+    }
+    out
+}
+
+/// Scan a fn body for nondeterminism sources: wall-clock reads,
+/// RandomState-ordered containers, and Relaxed atomics. `use` spans are
+/// exempt (imports are not reads).
+fn determinism_sources(toks: &[Tok], b0: usize, b1: usize) -> Vec<Source> {
+    let mut out = Vec::new();
+    let mut in_use = false;
+    for j in b0..b1.min(toks.len()) {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident && t.text == "use" {
+            in_use = true;
+        }
+        if in_use {
+            if punct(t) == Some(';') {
+                in_use = false;
+            }
+            continue;
+        }
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "Instant" | "SystemTime" => format!("wall-clock `{}`", t.text),
+            "HashMap" | "HashSet" => format!("RandomState-ordered `{}`", t.text),
+            "Relaxed" => "Relaxed atomic read".to_string(),
+            _ => continue,
+        };
+        out.push(Source { line: t.line, col: t.col, what });
+    }
+    out
+}
+
+/// Whether a valid marker naming `rule` covers `(file_idx, line)` —
+/// mirrors the engine's suppression matching.
+fn marker_covers(markers: &[Vec<AllowMarker>], file_idx: usize, line: u32, rule: &str) -> bool {
+    markers.get(file_idx).is_some_and(|ms| {
+        ms.iter().any(|m| {
+            m.rules.iter().any(|r| r == rule)
+                && (m.file_level || m.line == line || m.line + 1 == line)
+        })
+    })
+}
+
+/// The panic-reachability rule. `markers` holds each file's *valid*
+/// suppression markers (parallel to `ws.files`): panic sites already
+/// justified under `no-panic-serving` are not re-reported — that
+/// marker's justification covers the panic itself, whoever reaches it.
+pub fn panic_reachability(
+    ws: &Workspace,
+    graph: &Graph,
+    markers: &[Vec<AllowMarker>],
+) -> Vec<Violation> {
+    let entries = resolve_specs(ws, SERVING_ENTRIES);
+    let blocked = boundaries(ws);
+    let reach = graph.reach(&entries, &blocked);
+    let mut seen: BTreeSet<(usize, u32, u32)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &id in &reach.set {
+        let f = &ws.fns[id];
+        if f.in_test || blocked.contains(&id) {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        let toks = &ws.files[f.file].tokens;
+        for s in panic_sources(toks, b0, b1) {
+            if marker_covers(markers, f.file, s.line, rules::NO_PANIC_SERVING) {
+                continue;
+            }
+            if !seen.insert((f.file, s.line, s.col)) {
+                continue;
+            }
+            out.push(Violation::new(
+                rules::PANIC_REACHABILITY,
+                &ws.files[f.file].rel,
+                s.line,
+                s.col,
+                format!(
+                    "{} can abort serving: {}; return a Result, degrade via \
+                     sage-resilience, or justify with a panic-reachability marker",
+                    s.what,
+                    graph.path_to(ws, &reach, id),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The determinism-taint rule: no nondeterminism source may be
+/// call-reachable from a byte-compared serialization sink.
+pub fn determinism_taint(ws: &Workspace, graph: &Graph) -> Vec<Violation> {
+    let sinks = resolve_specs(ws, DETERMINISM_SINKS);
+    let reach = graph.reach(&sinks, &BTreeSet::new());
+    let mut seen: BTreeSet<(usize, u32, u32)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &id in &reach.set {
+        let f = &ws.fns[id];
+        if f.in_test {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        let toks = &ws.files[f.file].tokens;
+        for s in determinism_sources(toks, b0, b1) {
+            if !seen.insert((f.file, s.line, s.col)) {
+                continue;
+            }
+            out.push(Violation::new(
+                rules::DETERMINISM_TAINT,
+                &ws.files[f.file].rel,
+                s.line,
+                s.col,
+                format!(
+                    "{} can flow into byte-compared output: {}; thread the value \
+                     from outside, sort before emitting, or justify with a \
+                     determinism-taint marker",
+                    s.what,
+                    graph.path_to(ws, &reach, id),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+    use crate::resolve::FileUnit;
+
+    fn build(files: &[(&str, &str, &str)]) -> (Workspace, Graph, Vec<Vec<AllowMarker>>) {
+        let mut units = Vec::new();
+        let mut markers = Vec::new();
+        for (rel, key, src) in files {
+            let lexed = lex(src);
+            let items = parse_items(&lexed.tokens);
+            markers.push(lexed.markers.into_iter().filter(|m| m.justified()).collect());
+            units.push(FileUnit {
+                rel: rel.to_string(),
+                key: key.to_string(),
+                tokens: lexed.tokens,
+                items,
+            });
+        }
+        let ws = Workspace::build(units);
+        let graph = Graph::build(&ws);
+        (ws, graph, markers)
+    }
+
+    #[test]
+    fn transitive_panics_are_reported_at_the_source() {
+        let (ws, g, m) = build(&[
+            (
+                "crates/vecdb/src/flat.rs",
+                "vecdb",
+                "struct Flat; impl Flat { fn search(&self, q: &[f32]) { score(q); } }\n\
+                 fn score(q: &[f32]) -> f32 { q.first().unwrap(); q[0] }",
+            ),
+        ]);
+        let vs = panic_reachability(&ws, &g, &m);
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert!(vs.iter().all(|v| v.rule == rules::PANIC_REACHABILITY));
+        assert!(vs.iter().all(|v| v.line == 2));
+        assert!(vs[0].message.contains("vecdb::Flat::search -> vecdb::score"));
+    }
+
+    #[test]
+    fn unwind_boundaries_absorb_the_walk() {
+        let (ws, g, m) = build(&[(
+            "crates/vecdb/src/flat.rs",
+            "vecdb",
+            "struct F; impl F { fn search(&self) { guarded(); } }\n\
+             fn guarded() { let _ = std::panic::catch_unwind(|| risky()); }\n\
+             fn risky() { panic!(\"boom\"); }",
+        )]);
+        assert!(panic_reachability(&ws, &g, &m).is_empty());
+    }
+
+    #[test]
+    fn test_only_panics_do_not_fire() {
+        let (ws, g, m) = build(&[(
+            "crates/vecdb/src/flat.rs",
+            "vecdb",
+            "struct F; impl F { fn search(&self) {} }\n\
+             #[cfg(test)]\nmod tests { fn t() { panic!(\"x\"); } }",
+        )]);
+        assert!(panic_reachability(&ws, &g, &m).is_empty());
+    }
+
+    #[test]
+    fn no_panic_serving_markers_cover_reachability_sources() {
+        let (ws, g, m) = build(&[(
+            "crates/vecdb/src/flat.rs",
+            "vecdb",
+            "struct F; impl F { fn search(&self) { helper(); } }\n\
+             fn helper() {\n\
+             // sage-lint: allow(no-panic-serving) - checked non-empty by caller\n\
+             x.unwrap();\n}",
+        )]);
+        assert!(panic_reachability(&ws, &g, &m).is_empty());
+    }
+
+    #[test]
+    fn unreachable_panics_do_not_fire() {
+        let (ws, g, m) = build(&[(
+            "crates/vecdb/src/flat.rs",
+            "vecdb",
+            "struct F; impl F { fn search(&self) {} }\nfn orphan() { panic!(\"x\"); }",
+        )]);
+        assert!(panic_reachability(&ws, &g, &m).is_empty());
+    }
+
+    #[test]
+    fn taint_reaches_sources_through_calls() {
+        let (ws, g, _) = build(&[(
+            "crates/obs/src/bundle.rs",
+            "obs",
+            "struct B; impl B { fn render(&self) -> String { stamp() } }\n\
+             fn stamp() -> String { let t = Instant::now(); format!(\"{t:?}\") }",
+        )]);
+        let vs = determinism_taint(&ws, &g);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, rules::DETERMINISM_TAINT);
+        assert!(vs[0].message.contains("wall-clock"));
+        assert!(vs[0].message.contains("obs::B::render -> obs::stamp"));
+    }
+
+    #[test]
+    fn taint_ignores_unreachable_sources_and_use_lines() {
+        let (ws, g, _) = build(&[(
+            "crates/obs/src/bundle.rs",
+            "obs",
+            "struct B; impl B { fn render(&self) -> String { String::new() } }\n\
+             fn elsewhere() { let t = Instant::now(); let _ = t; }",
+        )]);
+        assert!(determinism_taint(&ws, &g).is_empty());
+    }
+
+    #[test]
+    fn spec_drift_is_detectable() {
+        let (ws, _, _) = build(&[("crates/text/src/lib.rs", "text", "fn f() {}")]);
+        // A workspace with none of the serving surface leaves every spec
+        // unmatched; the tier-1 test asserts the real repo leaves none.
+        assert_eq!(unmatched_specs(&ws, SERVING_ENTRIES).len(), SERVING_ENTRIES.len());
+    }
+}

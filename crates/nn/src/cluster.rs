@@ -4,6 +4,8 @@
 //! coarse quantiser. Deterministic: initialisation is farthest-point from
 //! vector 0, ties broken by index, so identical inputs cluster identically.
 
+// sage-lint: allow-file(panic-reachability) - k-means indexes vectors/centroids/counts sized together at entry; vectors is checked non-empty before use
+
 /// Squared Euclidean distance.
 #[inline]
 pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {

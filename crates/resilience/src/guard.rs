@@ -66,6 +66,7 @@ impl Guard<'_> {
             let fault = self.plan.inject(component, key, attempt);
             let outcome: Result<T, SageError> = match fault {
                 Some(FaultKind::Panic) => {
+                    // sage-lint: allow(panic-reachability) - fault injection panics on purpose; serving callers catch it at the unwind boundary
                     panic!("injected panic at {component} for call {key:?}")
                 }
                 Some(FaultKind::Transient) => {
@@ -126,6 +127,7 @@ impl Guard<'_> {
                 }
             }
         }
+        // sage-lint: allow(panic-reachability) - every loop arm returns a value or a Failure; this line only documents that
         unreachable!("loop always returns");
     }
 }

@@ -175,6 +175,7 @@ impl Telemetry {
 
     /// Record one observation of `d` wall-clock in `stage`.
     pub fn record_stage(&self, stage: Stage, d: Duration) {
+        // sage-lint: allow(panic-reachability) - stage.idx() is a dense enum index sized to the stage_ns array
         self.stage_ns[stage.idx()].record(d.as_nanos() as u64);
     }
 
@@ -198,12 +199,12 @@ impl Telemetry {
 
     /// Remember a finished corpus build.
     pub fn record_build(&self, rec: BuildRecord) {
-        self.builds.lock().unwrap().push(rec);
+        self.builds.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(rec);
     }
 
     /// Store a finished query trace.
     pub fn push_trace(&self, t: Trace) {
-        self.traces.lock().unwrap().push(t);
+        self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(t);
     }
 
     /// Snapshot of one stage's latency histogram (nanoseconds).
@@ -233,12 +234,12 @@ impl Telemetry {
 
     /// Copy of the recorded build records.
     pub fn builds(&self) -> Vec<BuildRecord> {
-        self.builds.lock().unwrap().clone()
+        self.builds.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     /// All finished traces serialised as JSON lines (one trace per line).
     pub fn traces_jsonl(&self) -> String {
-        let traces = self.traces.lock().unwrap();
+        let traces = self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         for t in traces.iter() {
             t.write_json(&mut out);
@@ -249,12 +250,12 @@ impl Telemetry {
 
     /// Number of finished traces held.
     pub fn trace_count(&self) -> usize {
-        self.traces.lock().unwrap().len()
+        self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// Run `f` over each finished trace.
     pub fn with_traces<R>(&self, f: impl FnOnce(&[Trace]) -> R) -> R {
-        f(&self.traces.lock().unwrap())
+        f(&self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 }
 

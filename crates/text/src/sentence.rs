@@ -5,6 +5,8 @@
 //! sentences, whether they belong in the same chunk. This module provides
 //! both splits.
 
+// sage-lint: allow-file(panic-reachability) - char positions are produced and bounds-checked by the same scan loops over the chars vec
+
 /// Abbreviations after which a period does *not* end a sentence.
 const ABBREVIATIONS: &[&str] = &[
     "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "vs", "etc", "e.g", "i.e", "fig", "eq",
@@ -84,7 +86,7 @@ fn period_is_internal(chars: &[char], idx: usize) -> bool {
         j -= 1;
     }
     let word: String = chars[j..idx].iter().collect::<String>().to_lowercase();
-    if word.len() == 1 && word.chars().next().unwrap().is_alphabetic() {
+    if word.len() == 1 && word.chars().next().is_some_and(char::is_alphabetic) {
         return true; // single initial "J."
     }
     ABBREVIATIONS.contains(&word.as_str())

@@ -70,6 +70,7 @@ impl FlatIndex {
         if self.dim == 0 || id >= self.len() {
             return None;
         }
+        // sage-lint: allow(panic-reachability) - the id >= len guard above makes the dim-wide row slice valid
         Some(&self.data[id * self.dim..(id + 1) * self.dim])
     }
 
@@ -175,6 +176,7 @@ impl VectorIndex for FlatIndex {
         sage_telemetry::metrics::VECDB_FLAT_DISTANCE_EVALS.add(self.len() as u64);
         let mut heap: BinaryHeap<HeapHit> = BinaryHeap::with_capacity(n + 1);
         for id in 0..self.len() {
+            // sage-lint: allow(panic-reachability) - ids iterate 0..len over rows sized dim*len at insert
             let v = &self.data[id * self.dim..(id + 1) * self.dim];
             let score = self.metric.similarity(query, v);
             heap.push(HeapHit(Hit { id, score }));

@@ -7,6 +7,8 @@
 //! memory locality (arena per cell), HNSW is incremental with per-node
 //! links. The `micro` bench compares all three index types.
 
+// sage-lint: allow-file(panic-reachability) - cell ids come from nearest_centroid over self.cells and vector rows are sized dim*count at build
+
 use crate::metric::Metric;
 use crate::{Hit, VectorIndex};
 use sage_nn::cluster::{kmeans, squared_distance};

@@ -13,6 +13,8 @@
 //! single-writer invariant (`sage-lint` rule `mutation-behind-writer`)
 //! keeps all mutation of this type inside `sage-core`'s `live` module.
 
+// sage-lint: allow-file(panic-reachability) - ids are range-checked against dead.len() before tombstone reads and writes
+
 use crate::metric::Metric;
 use crate::{FlatIndex, Hit, HnswConfig, HnswIndex, VectorIndex};
 
