@@ -19,10 +19,11 @@ mod batch;
 mod ctx;
 mod middleware;
 mod plan;
+pub(crate) mod scatter;
 mod stages;
 
 pub(crate) use ctx::QueryCtx;
-pub use plan::{QueryPlan, RerankMode, SelectMode, StageOp};
+pub use plan::{Fanout, QueryPlan, RerankMode, SelectMode, StageOp};
 use plan::Loc;
 use stages::dispatch;
 
@@ -156,6 +157,9 @@ pub(crate) fn execute(
 ) -> QueryResult {
     let mut plan =
         QueryPlan::resolve(&sys.config, sys.retriever.is_dense(), sys.scorer.is_some());
+    if let Some(ss) = &sys.shards {
+        plan = plan.with_fanout(ss.fanout);
+    }
     let guards = sys.resilience.as_ref().map(QueryGuards::new);
     let qt = sys.telemetry.as_ref().map(|_| Trace::start(question));
     let bctl = budget.map(|b| {
@@ -230,6 +234,9 @@ pub(crate) fn execute_fixed(
 pub(crate) fn run_prelude(sys: &RagSystem, question: &str) -> (Vec<usize>, Vec<RankedChunk>) {
     let mut plan =
         QueryPlan::resolve(&sys.config, sys.retriever.is_dense(), sys.scorer.is_some());
+    if let Some(ss) = &sys.shards {
+        plan = plan.with_fanout(ss.fanout);
+    }
     let mut ctx = QueryCtx::new(question, None, None, None, None, sys.config.min_k);
     run_prelude_slots(sys, &mut plan, &mut ctx);
     (ctx.cand_ids, ctx.ranked)

@@ -50,6 +50,9 @@ pub struct RagSystem {
     /// Runtime-only flight recorder state (see `crate::obs`); `None`
     /// records nothing.
     pub(crate) obs: Option<crate::obs::ObsState>,
+    /// Runtime-only sharded-serving state (see `crate::exec::scatter`);
+    /// `None` serves from the monolithic index.
+    pub(crate) shards: Option<crate::exec::scatter::ShardState>,
 }
 
 impl RagSystem {
@@ -128,6 +131,7 @@ impl RagSystem {
             telemetry: None,
             admission: None,
             obs: None,
+            shards: None,
         }
     }
 
@@ -160,6 +164,10 @@ impl RagSystem {
         // Fallback tiers index the same chunk store; keep them in sync.
         if let Some(state) = &mut self.resilience {
             state.reindex(&self.chunks, self.retriever.flat_ref());
+        }
+        // The shard partition covers the chunk store exactly; re-partition.
+        if let Some(ss) = &self.shards {
+            self.shards = Some(ss.rebuild(&self.retriever, self.chunks.len()));
         }
     }
 
@@ -345,6 +353,7 @@ impl RagSystem {
             telemetry: None,
             admission: None,
             obs: None,
+            shards: None,
         }
     }
 

@@ -59,6 +59,7 @@ fn soak_config(cell: &ScenarioCell) -> SoakConfig {
         qps: cell.qps as f64,
         capacity: cell.capacity as usize,
         concurrency: cell.concurrency as usize,
+        shards: cell.shards.max(1) as u32,
         budget: Some(QueryBudget::new(
             Duration::from_millis(cell.deadline_ms),
             cell.max_tokens,
@@ -89,6 +90,9 @@ pub fn run_cell(models: &TrainedModels, cell: &ScenarioCell) -> Result<BenchRow,
             .map_err(|e| format!("cell `{}`: bad fault spec: {e}", cell.name))?;
         system.enable_resilience(ResilienceConfig::with_plan(plan));
     }
+    if cell.shards > 1 {
+        system.enable_sharding(cell.shards as u32, None);
+    }
 
     let cfg = soak_config(cell);
     let report = run_soak(&system, &questions, &cfg);
@@ -102,6 +106,7 @@ pub fn run_cell(models: &TrainedModels, cell: &ScenarioCell) -> Result<BenchRow,
     row.push_u64("completed", report.completed as u64);
     row.push_u64("errors", report.errors as u64);
     row.push_u64("panics", report.panics as u64);
+    row.push_u64("shard_partial", report.shard_partial as u64);
     row.push_u64("browned_out", report.browned_out());
     row.push_u64("p50_sojourn_us", report.p50_sojourn.as_micros() as u64);
     row.push_u64("p99_sojourn_us", report.p99_sojourn.as_micros() as u64);

@@ -38,6 +38,16 @@ pub const MUTATION_BEHIND_WRITER: &str = "mutation-behind-writer";
 /// policy; call sites scattered elsewhere could double-count a query or
 /// seal windows off-grid, silently skewing what `sage report` retains.
 pub const RECORDER_BEHIND_OBS: &str = "recorder-behind-obs";
+/// Architecture: shard routing state stays confined. The partition
+/// surfaces (`ShardRouter`, `ShardedFlat`, `merge_hits`,
+/// `retrieve_shard`) live in `sage-vecdb`/`sage-retrieval` and are only
+/// consumed by the scatter-gather executor (`core/src/exec/`) and the
+/// soak harness's per-shard server pools (`src/soak.rs`). Per-shard
+/// handles held anywhere else could serve a stale partition after
+/// `add_documents` rebuilds the shards, or merge with a different
+/// tie-break than the executor — silently breaking the
+/// sharded==unsharded equivalence the drills rely on.
+pub const SHARD_STATE_CONFINED: &str = "shard-state-confined";
 /// Whole-program rule: a serving entry point (executor stages, vecdb /
 /// retriever search, the live apply path) must not *transitively* reach
 /// a panic site — `panic!`-family macros, `.unwrap()`/`.expect()`, or a
@@ -71,6 +81,7 @@ pub const ALL_RULES: &[&str] = &[
     UNWIND_BOUNDARY,
     MUTATION_BEHIND_WRITER,
     RECORDER_BEHIND_OBS,
+    SHARD_STATE_CONFINED,
     PANIC_REACHABILITY,
     DETERMINISM_TAINT,
 ];
@@ -87,6 +98,7 @@ pub const REPORTABLE_RULES: &[&str] = &[
     UNWIND_BOUNDARY,
     MUTATION_BEHIND_WRITER,
     RECORDER_BEHIND_OBS,
+    SHARD_STATE_CONFINED,
     PANIC_REACHABILITY,
     DETERMINISM_TAINT,
     STALE_SUPPRESSION,
@@ -340,6 +352,33 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
             ));
         }
 
+        // Shard routing state stays with its owners: the partition's home
+        // crates (vecdb defines the router and sharded index, retrieval
+        // the per-shard BM25 filter), the scatter-gather executor, and
+        // the soak harness's per-shard virtual server pools. `use` lines
+        // stay exempt for facade re-exports.
+        let shard_home = matches!(crate_key, "vecdb" | "retrieval")
+            || file.contains("/exec/")
+            || file.ends_with("/src/soak.rs");
+        if library
+            && !shard_home
+            && !in_use
+            && matches!(word, "ShardRouter" | "ShardedFlat" | "merge_hits" | "retrieve_shard")
+        {
+            out.push(Violation::new(
+                SHARD_STATE_CONFINED,
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "`{word}` outside the shard layer (vecdb/retrieval, core/src/exec/, \
+                     the soak pools): per-shard handles elsewhere can outlive a \
+                     partition rebuild or merge with a different tie-break; route \
+                     shard work through RagSystem::enable_sharding and the executor"
+                ),
+            ));
+        }
+
         if crate_key == "core" && word == "catch_unwind" && !file.contains("/exec/") {
             out.push(Violation::new(
                 UNWIND_BOUNDARY,
@@ -505,6 +544,31 @@ mod tests {
         );
         // Re-exports and binaries stay legal.
         assert!(run("sage", "pub use sage_obs::{FlightRecorder, RecorderConfig};").is_empty());
+        assert!(run("cli", src).is_empty());
+    }
+
+    #[test]
+    fn shard_state_confined_to_its_layer() {
+        let src = "fn f(r: ShardRouter, s: &ShardedFlat) -> Vec<Hit> \
+                   { merge_hits(&[s.search_shard(r.route_id(0), &[0.0], 4)], 4) }";
+        // Library code outside the shard layer may not hold routing state…
+        let vs = check_file("core", "crates/core/src/pipeline.rs", &lex(src).tokens);
+        assert_eq!(rules_of(&vs), vec![SHARD_STATE_CONFINED; 3]);
+        assert_eq!(
+            rules_of(&check_file("llm", "crates/llm/src/reader.rs", &lex(src).tokens)),
+            vec![SHARD_STATE_CONFINED; 3]
+        );
+        // …the defining crates implement the surface…
+        assert!(check_file("vecdb", "crates/vecdb/src/shard.rs", &lex(src).tokens).is_empty());
+        let delta = "fn g(r: &Bm25Retriever) { r.retrieve_shard(\"q\", 4, 0, &[]); }";
+        assert!(check_file("retrieval", "crates/retrieval/src/bm25.rs", &lex(delta).tokens)
+            .is_empty());
+        // …the scatter-gather executor and the soak pools consume it…
+        assert!(check_file("core", "crates/core/src/exec/scatter.rs", &lex(src).tokens).is_empty());
+        assert!(check_file("core", "crates/core/src/soak.rs", &lex(src).tokens).is_empty());
+        // …re-exports and binaries stay legal.
+        assert!(run("sage", "pub use sage_vecdb::{merge_hits, ShardRouter, ShardedFlat};")
+            .is_empty());
         assert!(run("cli", src).is_empty());
     }
 

@@ -54,6 +54,9 @@ pub struct ScenarioCell {
     pub capacity: u64,
     /// Service concurrency.
     pub concurrency: u64,
+    /// Shard fault domains (scatter-gather serving + per-shard soak
+    /// pools); 1 = unsharded.
+    pub shards: u64,
     /// Per-query deadline budget, milliseconds.
     pub deadline_ms: u64,
     /// Per-query token budget.
@@ -73,6 +76,7 @@ impl Default for ScenarioCell {
             qps: 3,
             capacity: 8,
             concurrency: 2,
+            shards: 1,
             deadline_ms: 8_000,
             max_tokens: 4_000,
         }
@@ -142,6 +146,7 @@ fn apply(cell: &mut ScenarioCell, key: &str, v: &Value) -> Result<(), String> {
         "qps" => cell.qps = as_u64(v, key)?,
         "capacity" => cell.capacity = as_u64(v, key)?,
         "concurrency" => cell.concurrency = as_u64(v, key)?,
+        "shards" => cell.shards = as_u64(v, key)?,
         "deadline_ms" => cell.deadline_ms = as_u64(v, key)?,
         "max_tokens" => cell.max_tokens = as_u64(v, key)?,
         other => return Err(format!("unknown cell key `{other}`")),

@@ -137,6 +137,63 @@ impl Bm25Retriever {
             self.live_total_len as f32 / self.live_count as f32
         };
     }
+
+    /// Retrieve over one shard of the corpus: only chunks whose entry in
+    /// `assignment` (the router's chunk→shard table) equals `shard` are
+    /// scored. Scoring keeps the *global* document frequencies and length
+    /// normaliser — shard postings are a filter over one shared index, not
+    /// per-shard statistics — so scores are comparable across shards and a
+    /// deterministic merge of every shard's results equals the unsharded
+    /// ranking exactly. Chunks beyond `assignment.len()` are treated as
+    /// unassigned and skipped.
+    pub fn retrieve_shard(
+        &self,
+        query: &str,
+        n: usize,
+        shard: u32,
+        assignment: &[u32],
+    ) -> Vec<ScoredChunk> {
+        self.retrieve_where(query, n, |ci| assignment.get(ci).copied() == Some(shard))
+    }
+
+    /// Shared scoring loop behind [`Retriever::retrieve`] (allow all) and
+    /// [`retrieve_shard`](Self::retrieve_shard) (shard filter).
+    fn retrieve_where(
+        &self,
+        query: &str,
+        n: usize,
+        allow: impl Fn(usize) -> bool,
+    ) -> Vec<ScoredChunk> {
+        if self.live_count == 0 || n == 0 {
+            return Vec::new();
+        }
+        sage_telemetry::metrics::BM25_SEARCHES.inc();
+        let mut scores: HashMap<u32, f32> = HashMap::new();
+        for term in Self::terms(query) {
+            let Some(id) = self.vocab.get(&term) else { continue };
+            let Some(postings) = self.postings.get(&id) else { continue };
+            sage_telemetry::metrics::BM25_POSTINGS_SCANNED.add(postings.len() as u64);
+            let idf = self.vocab.idf(id);
+            for &(chunk, tf) in postings {
+                if self.deleted[chunk as usize] || !allow(chunk as usize) {
+                    continue;
+                }
+                let tf = tf as f32;
+                let len = self.chunk_len[chunk as usize] as f32;
+                let denom =
+                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * len / self.avg_len);
+                let term_score = idf * tf * (self.params.k1 + 1.0) / denom;
+                *scores.entry(chunk).or_insert(0.0) += term_score;
+            }
+        }
+        let mut hits: Vec<ScoredChunk> = scores
+            .into_iter()
+            .map(|(chunk, score)| ScoredChunk { index: chunk as usize, score })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.index.cmp(&b.index)));
+        hits.truncate(n);
+        hits
+    }
 }
 
 impl Retriever for Bm25Retriever {
@@ -171,35 +228,7 @@ impl Retriever for Bm25Retriever {
     }
 
     fn retrieve(&self, query: &str, n: usize) -> Vec<ScoredChunk> {
-        if self.live_count == 0 || n == 0 {
-            return Vec::new();
-        }
-        sage_telemetry::metrics::BM25_SEARCHES.inc();
-        let mut scores: HashMap<u32, f32> = HashMap::new();
-        for term in Self::terms(query) {
-            let Some(id) = self.vocab.get(&term) else { continue };
-            let Some(postings) = self.postings.get(&id) else { continue };
-            sage_telemetry::metrics::BM25_POSTINGS_SCANNED.add(postings.len() as u64);
-            let idf = self.vocab.idf(id);
-            for &(chunk, tf) in postings {
-                if self.deleted[chunk as usize] {
-                    continue;
-                }
-                let tf = tf as f32;
-                let len = self.chunk_len[chunk as usize] as f32;
-                let denom =
-                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * len / self.avg_len);
-                let term_score = idf * tf * (self.params.k1 + 1.0) / denom;
-                *scores.entry(chunk).or_insert(0.0) += term_score;
-            }
-        }
-        let mut hits: Vec<ScoredChunk> = scores
-            .into_iter()
-            .map(|(chunk, score)| ScoredChunk { index: chunk as usize, score })
-            .collect();
-        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.index.cmp(&b.index)));
-        hits.truncate(n);
-        hits
+        self.retrieve_where(query, n, |_| true)
     }
 
     fn len(&self) -> usize {
@@ -370,6 +399,36 @@ mod tests {
         r.tombstone_chunk(0);
         assert!(r.retrieve("only", 3).is_empty());
         assert_eq!(r.live_len(), 0);
+    }
+
+    #[test]
+    fn shard_retrieval_partitions_and_merges_back_to_global() {
+        let r = indexed();
+        // A 2-shard assignment splitting the corpus by chunk parity.
+        let assignment: Vec<u32> = (0..r.len() as u32).map(|i| i % 2).collect();
+        for query in ["cat eyes", "the moon", "dough town"] {
+            let global = r.retrieve(query, 5);
+            let mut union: Vec<ScoredChunk> = Vec::new();
+            for shard in 0..2 {
+                let part = r.retrieve_shard(query, 5, shard, &assignment);
+                for h in &part {
+                    assert_eq!(assignment[h.index], shard, "{query}: hit outside its shard");
+                }
+                union.extend(part);
+            }
+            // Global statistics make shard scores comparable: re-sorting the
+            // union with the same comparator reproduces the global ranking.
+            union.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.index.cmp(&b.index)));
+            union.truncate(5);
+            assert_eq!(union.len(), global.len(), "{query}");
+            for (u, g) in union.iter().zip(&global) {
+                assert_eq!(u.index, g.index, "{query}");
+                assert!((u.score - g.score).abs() < 1e-6, "{query}");
+            }
+        }
+        // An out-of-range shard or empty assignment yields nothing.
+        assert!(r.retrieve_shard("cat", 5, 7, &assignment).is_empty());
+        assert!(r.retrieve_shard("cat", 5, 0, &[]).is_empty());
     }
 
     #[test]

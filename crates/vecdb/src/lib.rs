@@ -31,6 +31,7 @@ pub mod hnsw;
 pub mod ivf;
 pub mod metric;
 pub mod mutable;
+pub mod shard;
 pub mod shared;
 
 pub use flat::FlatIndex;
@@ -38,6 +39,7 @@ pub use hnsw::{HnswConfig, HnswIndex};
 pub use mutable::MutableIndex;
 pub use ivf::{IvfConfig, IvfIndex};
 pub use metric::Metric;
+pub use shard::{merge_hits, ShardRouter, ShardedFlat};
 pub use shared::SharedIndex;
 
 /// A search hit: internal vector id plus similarity score (higher = closer).

@@ -97,6 +97,41 @@ if [ "${1:-}" != fast ]; then
   grep -q 'panics 0' "$tmp/soak_a.err" || { echo "FAIL: soak saw panics"; exit 1; }
   echo "soak smoke ok"
 
+  echo "=== shard smoke (scatter-gather determinism + loss drill)"
+  # Scatter-gather must be invisible when healthy: the same question
+  # served through 4 shards must print the exact answer the unsharded
+  # scan does (the deterministic merge is byte-identical at every N).
+  cargo run -q --release -p sage-cli -- ask \
+    --file "$tmp/corpus.txt" --question "What is the color of Whiskers's eyes?" \
+    > "$tmp/ask_unsharded.txt" 2> /dev/null
+  cargo run -q --release -p sage-cli -- ask \
+    --file "$tmp/corpus.txt" --question "What is the color of Whiskers's eyes?" \
+    --shards 4 \
+    > "$tmp/ask_sharded.txt" 2> /dev/null
+  diff -q "$tmp/ask_unsharded.txt" "$tmp/ask_sharded.txt" \
+    || { echo "FAIL: 4-shard merge diverges from unsharded results"; exit 1; }
+  # Loss drill: kill shard 1 of 4 outright under load. Every completed
+  # query must serve from the three survivors under a documented
+  # shard-partial rung, with zero panics and zero errors, and the event
+  # log must replay byte-for-byte.
+  cargo run -q --release -p sage-cli -- soak \
+    --seed 42 --duration 10 --qps 3 --docs 1 \
+    --shards 4 --resilience --faults "shard:1:down" \
+    > "$tmp/shard_a.log" 2> "$tmp/shard_a.err"
+  cargo run -q --release -p sage-cli -- soak \
+    --seed 42 --duration 10 --qps 3 --docs 1 \
+    --shards 4 --resilience --faults "shard:1:down" \
+    > "$tmp/shard_b.log" 2> /dev/null
+  diff -q "$tmp/shard_a.log" "$tmp/shard_b.log" \
+    || { echo "FAIL: shard-loss soak replay is not deterministic"; exit 1; }
+  grep -q 'rung=shard-partial:1/4' "$tmp/shard_a.log" \
+    || { echo "FAIL: no shard-partial rung on the survivors' answers"; exit 1; }
+  grep -q 'panics 0' "$tmp/shard_a.err" \
+    || { echo "FAIL: shard-loss soak saw panics"; exit 1; }
+  grep -q 'errors 0' "$tmp/shard_a.err" \
+    || { echo "FAIL: shard-loss soak saw errors"; exit 1; }
+  echo "shard smoke ok"
+
   echo "=== live-corpus smoke (crash injection + recovery drill)"
   # Mutate a store under a crash plan: every injected crash must recover
   # to the last committed epoch (the command exits nonzero on any live

@@ -163,6 +163,9 @@ e=$(ext sage rand criterion sage_bench)
 "$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name lint_overhead crates/bench/benches/lint_overhead.rs \
   -o "$OUT/bench_lint_overhead" $e 2>&1 | head -60
 [ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: lint_overhead bench"; fail=1; }
+"$COMPILER" "${RUSTFLAGS_COMMON[@]}" --crate-name throughput_scaling crates/bench/benches/throughput_scaling.rs \
+  -o "$OUT/bench_throughput_scaling" $e 2>&1 | head -60
+[ "${PIPESTATUS[0]}" -eq 0 ] || { echo "BUILD FAILED: throughput_scaling bench"; fail=1; }
 
 if [ "$MODE" = test ] || [ "$MODE" = clippy ]; then
   for t in tests/end_to_end.rs tests/robustness.rs tests/properties.rs tests/static_analysis.rs; do
