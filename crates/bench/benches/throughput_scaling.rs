@@ -11,9 +11,19 @@
 //! real multi-machine deployment would overlap, so the JSON series doubles
 //! as the scaling trajectory for ROADMAP perf tracking.
 //!
+//! The second series measures the cross-query slot scheduler: a batch of
+//! questions runs through `profile_batch`, which executes every slot
+//! sequentially (results unchanged on any host) while attributing each
+//! measured slot duration to the worker the deterministic policy assigned.
+//! Modeled throughput is `batch / critical_path` — the makespan the same
+//! schedule would have on a real N-worker host — so single-core CI can
+//! still assert the scheduler's scaling contract: ≥2x the single-worker
+//! QPS at 4 workers, with byte-identical answers at every worker count.
+//!
 //! Besides the Criterion cells, the run emits `BENCH_throughput.json`
 //! (one object per shard count: measured QPS, µs/query, and the shard
-//! fan-out it resolved) for machine-readable regression tracking.
+//! fan-out it resolved; then one object per worker count: modeled QPS and
+//! speedup over one worker) for machine-readable regression tracking.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sage::corpus::datasets::{quality, SizeConfig};
@@ -23,8 +33,12 @@ use std::time::Instant;
 
 /// Shard counts the same corpus and question mix are measured against.
 const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+/// Virtual worker counts the slot scheduler's schedule is profiled at.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Queries per timed JSON-series measurement.
 const ROUNDS: usize = 160;
+/// In-flight queries per scheduled batch in the worker series.
+const BATCH: usize = 16;
 
 fn build_inputs() -> (RagSystem, Vec<String>) {
     let ds = quality::generate(SizeConfig { num_docs: 4, questions_per_doc: 4, seed: 0x5CA7 });
@@ -85,9 +99,65 @@ fn bench_shard_throughput(c: &mut Criterion) {
             "{{\"shards\": {n}, \"quorum\": {quorum}, \"qps\": {qps:.1}, \"us_per_query\": {us:.1}}}"
         ));
     }
+    // Cross-query scheduler series: profile the same batch at each worker
+    // count. Results must be byte-identical (the schedule is invisible in
+    // the outputs); only the modeled makespan may move.
+    system.disable_sharding();
+    let batch: Vec<String> =
+        (0..BATCH).map(|i| questions[i % questions.len()].clone()).collect();
+    let mut baseline_answers: Option<Vec<String>> = None;
+    let mut worker_qps = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        // Warm up one profiled batch, then accumulate critical-path time
+        // over enough batches to cover ROUNDS queries.
+        black_box(system.profile_batch(&batch, workers));
+        let reps = ROUNDS.div_ceil(BATCH);
+        let mut critical = std::time::Duration::ZERO;
+        let mut answers = Vec::new();
+        for _ in 0..reps {
+            let (results, stats) = system.profile_batch(&batch, workers);
+            critical += stats.critical_path();
+            answers = results
+                .into_iter()
+                .map(|r| match r {
+                    Ok(q) => q.answer.text,
+                    Err(e) => format!("err|{e:?}"),
+                })
+                .collect();
+        }
+        match &baseline_answers {
+            None => baseline_answers = Some(answers),
+            Some(base) => assert_eq!(
+                base, &answers,
+                "scheduler results diverged between 1 and {workers} workers"
+            ),
+        }
+        let secs = critical.as_secs_f64();
+        let queries = (reps * BATCH) as f64;
+        let qps = queries / secs.max(1e-9);
+        worker_qps.push(qps);
+        let speedup = qps / worker_qps[0].max(1e-9);
+        println!(
+            "scheduler throughput: {workers} worker(s) -> {qps:9.1} modeled qps ({speedup:.2}x)"
+        );
+        rows.push(format!(
+            "{{\"workers\": {workers}, \"qps\": {qps:.1}, \"speedup\": {speedup:.2}}}"
+        ));
+    }
+
     let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json");
+
+    // Acceptance: the deterministic schedule must overlap same-stage work
+    // well enough that 4 modeled workers at least double the single-worker
+    // throughput on the same batch.
+    let speedup_at_4 = worker_qps[2] / worker_qps[0].max(1e-9);
+    println!("scheduler scaling: {speedup_at_4:.2}x modeled speedup at 4 workers");
+    assert!(
+        speedup_at_4 >= 2.0,
+        "scheduler does not scale: {speedup_at_4:.2}x modeled speedup at 4 workers (need >= 2.0)"
+    );
 
     // Acceptance: fanning the exact partition out across 8 shards on one
     // core must cost little more than the unsharded scan — each shard

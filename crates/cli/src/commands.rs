@@ -361,6 +361,7 @@ pub fn soak(flags: &Flags) -> Result<(), String> {
         capacity: flags.get_parse("capacity", 8usize)?,
         concurrency: flags.get_parse("concurrency", 2usize)?,
         shards: flags.get_parse("shards", 1u32)?,
+        exec_workers: flags.get_parse("exec-workers", 1usize)?,
         budget: if flags.has("no-budget") {
             None
         } else {
@@ -380,12 +381,17 @@ pub fn soak(flags: &Flags) -> Result<(), String> {
     }
 
     eprintln!(
-        "soak: seed {} | {:.0?} virtual @ {} qps | capacity {} | {} server(s){} | {}",
+        "soak: seed {} | {:.0?} virtual @ {} qps | capacity {} | {} server(s){}{} | {}",
         cfg.seed,
         cfg.duration,
         cfg.qps,
         cfg.capacity,
         cfg.concurrency,
+        if cfg.exec_workers > 1 {
+            format!(" | {} exec workers", cfg.exec_workers)
+        } else {
+            String::new()
+        },
         match system.shard_fanout() {
             Some(f) => format!(" | {} shards (quorum {})", f.shards, f.quorum),
             None => String::new(),
@@ -584,8 +590,11 @@ fn parse_quorum(flags: &Flags) -> Result<Option<u32>, String> {
 /// resolved stages, the per-slot middleware order, and the rewrite each
 /// brownout rung applies. `--shards N [--quorum Q]` resolves the
 /// scatter-gather fan-out the retrieval slots would execute, exactly as
-/// [`RagSystem::enable_sharding`] would arm it. Pure plan resolution — no
-/// models are trained and no index is built.
+/// [`RagSystem::enable_sharding`] would arm it. `--concurrency N` appends
+/// the cross-query slot schedule N in-flight copies of the plan would
+/// execute (coalesced same-stage batch ops, deterministic worker
+/// assignment). Pure plan resolution — no models are trained and no index
+/// is built.
 pub fn explain(flags: &Flags) -> Result<(), String> {
     let retriever = parse_retriever(flags.get_or("retriever", "openai"))?;
     let config = if flags.has("naive") { SageConfig::naive_rag() } else { SageConfig::sage() };
@@ -604,6 +613,16 @@ pub fn explain(flags: &Flags) -> Result<(), String> {
             .with_fanout(Fanout::new(shards, parse_quorum(flags)?, CostModel::default().search_time));
     }
     print!("{}", plan.explain());
+    // `--concurrency N` additionally renders the cross-query schedule the
+    // slot scheduler would execute for N in-flight copies of this plan:
+    // per tick, the coalesced same-stage batch op and the deterministic
+    // (seeded round-robin) worker assignment.
+    let concurrency: usize = flags.get_parse("concurrency", 1usize)?;
+    if concurrency > 1 {
+        let workers: usize = flags.get_parse("exec-workers", 2usize)?;
+        println!();
+        print!("{}", sage::core::exec::render_schedule(&plan, concurrency, workers, 0x5A9E_0001));
+    }
     Ok(())
 }
 
@@ -889,7 +908,8 @@ USAGE:
   sage query   --index <index> --question \"...\" [--llm L]
   sage train   --out <path>         # save the trained model bundle
   sage soak    [--seed 42] [--qps 4] [--duration 30] [--capacity 8]
-               [--concurrency 2] [--deadline-ms 8000] [--token-budget 50000]
+               [--concurrency 2] [--exec-workers 1] [--deadline-ms 8000]
+               [--token-budget 50000]
                [--no-budget] [--docs N | --file <path> --question \"...\"]
                [--max-shed-rate 0.9] [--faults <spec>] [--fault-seed <n>]
                [--shards N] [--quorum Q]   # scatter-gather serving with
@@ -903,9 +923,13 @@ USAGE:
                [--baseline <path>] [--update-baseline] [--callgraph <path>]
                [--timings] [--metrics-out <path>] [--validate-sarif <path>]
   sage explain [\"question\"] [--retriever R] [--naive] [--shards N] [--quorum Q]
+               [--concurrency N [--exec-workers 2]]
                # print the resolved query plan: stages, middleware order,
-               # the rewrite each brownout rung applies, and (with --shards)
-               # the scatter-gather fan-out of the retrieval slots
+               # the rewrite each brownout rung applies, (with --shards)
+               # the scatter-gather fan-out of the retrieval slots, and
+               # (with --concurrency) the cross-query slot schedule: per
+               # tick, the coalesced same-stage batch op and the seeded
+               # round-robin worker assignment
   sage top     --from <metrics>           # dashboard over a Prometheus dump
   sage report  [--seed 42] [--qps 4] [--duration 30] [--docs N]
                [--slo <spec>] [--recorder-capacity 256] [--out <bundle>]
@@ -954,6 +978,9 @@ SOAK:
   skip rerank -> flat top-k) instead of failing them. Exits nonzero if
   a soak invariant is violated (panics, excess shed, out-of-order
   brownout, unbounded p99). Fault flags compose with the soak.
+  --exec-workers N drives each virtual-time dispatch wave through the
+  cross-query slot scheduler on N real threads; logs and reports stay
+  byte-identical at every value (diff them to prove it).
 
 LIVE SOAK:
   sage soak --live drives the live-corpus writer (epoch snapshots,

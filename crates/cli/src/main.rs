@@ -9,13 +9,15 @@
 //!              [--docs N] [--questions M] [--llm L]
 //! sage train   --out models.bin
 //! sage soak    [--seed 42] [--qps 4] [--duration 30] [--capacity 8]
-//!              [--concurrency 2] [--deadline-ms 8000] [--token-budget 50000]
-//!              [--no-budget] [--docs N | --file F --question "..."]
+//!              [--concurrency 2] [--exec-workers 1] [--deadline-ms 8000]
+//!              [--token-budget 50000] [--no-budget]
+//!              [--docs N | --file F --question "..."]
 //!              [--faults SPEC] [--fault-seed N] [--max-shed-rate 0.9]
 //! sage lint    [--root PATH] [--format human|json|sarif] [--baseline F]
 //!              [--update-baseline] [--callgraph F] [--timings]
 //!              [--metrics-out F] [--validate-sarif F]
 //! sage explain ["question"] [--retriever R] [--naive]
+//!              [--concurrency N [--exec-workers 2]]
 //! sage top     --from metrics.prom
 //! sage report  [--seed 42] [--qps 4] [--duration 30] [--slo SPEC]
 //!              [--out bundle.json] [--metrics-out F] [--strict-slo]

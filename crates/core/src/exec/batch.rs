@@ -1,41 +1,58 @@
-//! Batched execution over the executor: striping across worker threads
-//! and the admission-queue wave protocol. Each question still runs the
-//! single per-query plan via [`crate::RagSystem::try_answer_open`].
+//! Batched execution over the slot scheduler: many questions run
+//! *interleaved* — each live query advances one plan slot per scheduler
+//! tick, same-stage ready slots coalesce into cross-query batch ops, and
+//! the admission-queue wave protocol feeds the ready-set. Results are
+//! byte-identical (in every deterministic field) to a sequential loop of
+//! single-query calls, at any worker count and any batch size.
 
+use super::sched::{self, BatchSpec, ScheduleStats};
 use crate::pipeline::RagSystem;
 use crate::QueryResult;
 use sage_admission::{Decision, Priority};
 use sage_resilience::{Fallback, SageError};
 
+/// The seed of the scheduler's deterministic worker-assignment policy.
+/// A fixed constant, so a batch's schedule is a pure function of
+/// `(batch size, worker count)` — replayable across processes and runs.
+const SCHED_SEED: u64 = 0x5A9E_0001;
+
+/// Re-raise a per-question failure on the caller's thread — the
+/// pre-resilience [`RagSystem::answer_batch`] contract, collapsed into
+/// one place so the panic-on-serving exception is auditable at a single
+/// suppression. [`RagSystem::try_answer_batch`] is the isolating
+/// alternative: it surfaces the same failures as per-question `Err`
+/// slots instead.
+fn reraise(result: Result<QueryResult, SageError>) -> QueryResult {
+    match result {
+        Ok(r) => r,
+        // sage-lint: allow(no-panic-serving) - documented pre-resilience contract: answer_batch re-raises per-question failures; try_answer_batch is the isolating alternative
+        Err(e) => panic!("question failed: {e}"),
+    }
+}
+
 impl RagSystem {
-    /// Answer many open-ended questions with `workers` threads. Results
-    /// align with the input order; answers are identical to serial calls
-    /// (the reader is deterministic per question). `workers == 0` is
-    /// clamped to 1 (the empty input returns early before the clamp), and
-    /// `workers > questions.len()` to the question count.
+    /// Answer many open-ended questions with `workers` scheduler threads.
+    /// Results align with the input order; answers are identical to serial
+    /// calls (stages are deterministic per question and the coalesced
+    /// batch surfaces are element-wise). `workers == 0` is clamped to 1,
+    /// and `workers > questions.len()` to the question count.
     ///
     /// A question whose pipeline panics aborts the whole batch by
     /// re-raising the panic on the caller's thread (the pre-resilience
-    /// contract) — and when admission control is enabled, a shed question
-    /// is re-raised the same way. Use [`RagSystem::try_answer_batch`] to
-    /// get per-question `Err` slots instead.
+    /// contract, see [`reraise`]) — and when admission control is enabled,
+    /// a shed question is re-raised the same way. Use
+    /// [`RagSystem::try_answer_batch`] to get per-question `Err` slots
+    /// instead.
     pub fn answer_batch(&self, questions: &[String], workers: usize) -> Vec<QueryResult> {
-        self.try_answer_batch(questions, workers)
-            .into_iter()
-            .map(|r| match r {
-                Ok(result) => result,
-                // sage-lint: allow(no-panic-serving) - documented pre-resilience contract: this method re-raises per-question failures; try_answer_batch is the isolating alternative
-                Err(e) => panic!("question failed: {e}"),
-            })
-            .collect()
+        self.try_answer_batch(questions, workers).into_iter().map(reraise).collect()
     }
 
     /// [`RagSystem::answer_batch`] with per-question panic isolation: a
     /// panic anywhere in one question's pipeline (an injected `panic`
-    /// fault, a bug) is caught at this boundary and surfaced as
-    /// `Err(SageError::Panicked)` in that question's slot, while every
-    /// other question completes normally. Results align with input order;
-    /// `workers == 0` is clamped to 1.
+    /// fault, a bug) is caught at the scheduler's per-slot boundary and
+    /// surfaced as `Err(SageError::Panicked)` in that question's slot,
+    /// while every other in-flight question completes normally. Results
+    /// align with input order; `workers == 0` is clamped to 1.
     ///
     /// With admission control enabled ([`RagSystem::enable_admission`]),
     /// questions are offered to the queue in input order as
@@ -52,14 +69,17 @@ impl RagSystem {
             return Vec::new();
         }
         let workers = workers.clamp(1, questions.len());
-        let mut results: Vec<Option<Result<QueryResult, SageError>>> =
-            (0..questions.len()).map(|_| None).collect();
-        let indexed: Vec<(usize, &String)> = questions.iter().enumerate().collect();
         match &self.admission {
-            None => self.batch_stripe(&indexed, workers, &mut results),
+            None => {
+                let specs: Vec<BatchSpec<'_>> =
+                    questions.iter().map(|q| BatchSpec::open(q)).collect();
+                sched::run_interleaved(self, &specs, workers, SCHED_SEED)
+            }
             Some(m) => {
+                let mut results: Vec<Option<Result<QueryResult, SageError>>> =
+                    (0..questions.len()).map(|_| None).collect();
                 let mut offered = 0usize;
-                while offered < indexed.len() {
+                while offered < questions.len() {
                     // Admit the next wave under one lock hold: up to
                     // `workers` in-flight slots, so at zero external
                     // pressure a batch never lifts occupancy into the
@@ -67,8 +87,8 @@ impl RagSystem {
                     let mut wave: Vec<(usize, &String)> = Vec::new();
                     {
                         let mut q = Self::lock_queue(m);
-                        while offered < indexed.len() && wave.len() < workers {
-                            let (i, question) = indexed[offered];
+                        while offered < questions.len() && wave.len() < workers {
+                            let (i, question) = (offered, &questions[offered]);
                             match q.admit(Priority::Batch) {
                                 Decision::Admitted => wave.push((i, question)),
                                 Decision::Shed(_) => {
@@ -85,58 +105,57 @@ impl RagSystem {
                             offered += 1;
                         }
                     }
-                    self.batch_stripe(&wave, workers, &mut results);
+                    let specs: Vec<BatchSpec<'_>> =
+                        wave.iter().map(|&(_, q)| BatchSpec::open(q)).collect();
+                    let wave_results =
+                        sched::run_interleaved(self, &specs, workers, SCHED_SEED);
+                    for ((i, _), r) in wave.iter().zip(wave_results) {
+                        results[*i] = Some(r);
+                    }
                     let mut q = Self::lock_queue(m);
                     for _ in 0..wave.len() {
                         q.release();
                     }
                 }
+                results
+                    .into_iter()
+                    .map(|r| {
+                        r.unwrap_or(Err(SageError::Panicked {
+                            detail: "answer worker died before reporting".to_string(),
+                        }))
+                    })
+                    .collect()
             }
         }
-        results
-            .into_iter()
-            .map(|r| {
-                r.unwrap_or(Err(SageError::Panicked {
-                    detail: "answer worker died before reporting".to_string(),
-                }))
-            })
-            .collect()
     }
 
-    /// Answer `wave` striped across up to `workers` threads, writing each
-    /// question's result into its input slot.
-    fn batch_stripe(
+    /// [`RagSystem::try_answer_batch`] in the scheduler's profiling mode:
+    /// slots execute sequentially (results unchanged) while each measured
+    /// slot duration is attributed to the worker the deterministic policy
+    /// assigned — so [`ScheduleStats::critical_path`] models the batch's
+    /// parallel makespan on any host, including single-core CI. Bypasses
+    /// admission (the bench measures the executor, not the queue).
+    pub fn profile_batch(
         &self,
-        wave: &[(usize, &String)],
+        questions: &[String],
         workers: usize,
-        results: &mut [Option<Result<QueryResult, SageError>>],
-    ) {
-        if wave.is_empty() {
-            return;
+    ) -> (Vec<Result<QueryResult, SageError>>, ScheduleStats) {
+        let specs: Vec<BatchSpec<'_>> = questions.iter().map(|q| BatchSpec::open(q)).collect();
+        sched::profile_interleaved(self, &specs, workers, SCHED_SEED)
+    }
+
+    /// Render the deterministic cross-query schedule this system's
+    /// resolved plan yields for `queries` in-flight questions on
+    /// `workers` workers (the engine behind `sage explain --concurrency`).
+    pub fn explain_schedule(&self, queries: usize, workers: usize) -> String {
+        let mut plan = super::QueryPlan::resolve(
+            &self.config,
+            self.retriever.is_dense(),
+            self.scorer.is_some(),
+        );
+        if let Some(ss) = &self.shards {
+            plan = plan.with_fanout(ss.fanout);
         }
-        let workers = workers.clamp(1, wave.len());
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let mine: Vec<(usize, &String)> =
-                    wave.iter().skip(w).step_by(workers).copied().collect();
-                handles.push(s.spawn(move || {
-                    mine.into_iter()
-                        .map(|(i, q)| (i, self.try_answer_open(q)))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                // Workers cannot panic (each question is caught inside),
-                // but degrade gracefully if one somehow does: its questions
-                // stay `None` and are filled with a structured error by the
-                // caller.
-                if let Ok(batch) = h.join() {
-                    for (i, r) in batch {
-                        results[i] = Some(r);
-                    }
-                }
-            }
-        });
+        sched::render_schedule(&plan, queries, workers, SCHED_SEED)
     }
 }

@@ -20,10 +20,12 @@ mod ctx;
 mod middleware;
 mod plan;
 pub(crate) mod scatter;
+pub(crate) mod sched;
 mod stages;
 
 pub(crate) use ctx::QueryCtx;
 pub use plan::{Fanout, QueryPlan, RerankMode, SelectMode, StageOp};
+pub use sched::{render_schedule, ScheduleStats};
 use plan::Loc;
 use stages::dispatch;
 
@@ -81,35 +83,6 @@ fn run_prelude_slots(sys: &RagSystem, plan: &mut QueryPlan, ctx: &mut QueryCtx<'
     }
 }
 
-/// Run a full plan to a fused result on `ctx.result`.
-fn run_plan(sys: &RagSystem, plan: &mut QueryPlan, ctx: &mut QueryCtx<'_>) {
-    if !plan.prelude.is_empty() {
-        let prelude_start = Instant::now();
-        run_prelude_slots(sys, plan, ctx);
-        ctx.retrieval_latency = prelude_start.elapsed();
-    }
-    'rounds: for round in 0..plan.max_rounds {
-        ctx.round = round;
-        let mut j = 0;
-        while j < plan.round.len() {
-            if exec_slot(sys, plan, ctx, Loc::Round(j)) == Flow::Done {
-                break 'rounds;
-            }
-            j += 1;
-        }
-        // A completed round with no judging left in the plan (feedback
-        // off, or browned out by a rewrite) is final: without a score
-        // there is nothing to compare further rounds by.
-        if !plan.has_feedback() {
-            if ctx.best.is_none() {
-                ctx.unjudged = ctx.current.take();
-            }
-            break 'rounds;
-        }
-    }
-    dispatch(StageOp::Fuse).run(sys, ctx, StageOp::Fuse);
-}
-
 /// Finalize: stamp the degradation trace into the result, absorb it into
 /// the resilience counters, and flush the query's telemetry (degrade
 /// events folded into the span trace, query histogram, trace ring).
@@ -147,14 +120,17 @@ fn finalize(sys: &RagSystem, mut ctx: QueryCtx<'_>, total: Duration) -> QueryRes
     result
 }
 
-/// Execute the full query plan for `question`: the one entry point behind
-/// `answer_open`, `answer_multiple_choice`, and the `*_budgeted` pair.
-pub(crate) fn execute(
-    sys: &RagSystem,
-    question: &str,
-    options: Option<&[String]>,
+/// Resolve the plan and assemble the fresh context for one query — the
+/// shared setup behind [`execute`] and the scheduler's admission step:
+/// plan resolution (with shard fan-out), guard arming, trace opening, and
+/// the brownout admission gate (replan once before any work so a hopeless
+/// budget walks the ladder immediately).
+pub(crate) fn prepare<'a>(
+    sys: &'a RagSystem,
+    question: &'a str,
+    options: Option<&'a [String]>,
     budget: Option<QueryBudget>,
-) -> QueryResult {
+) -> (QueryPlan, QueryCtx<'a>) {
     let mut plan =
         QueryPlan::resolve(&sys.config, sys.retriever.is_dense(), sys.scorer.is_some());
     if let Some(ss) = &sys.shards {
@@ -172,16 +148,25 @@ pub(crate) fn execute(
     });
     let mut ctx = QueryCtx::new(question, options, guards, qt, bctl, sys.config.min_k);
     if let Some(ctl) = ctx.bctl.as_mut() {
-        // Admission gate: replan once before any work so a hopeless budget
-        // walks the ladder immediately — and rewrite the plan to match.
         let rounds = ctl.rounds_left(0);
         let level = ctl.checkpoint(PlanStage::Start, rounds, &mut ctx.trace);
         plan.apply_rung(level);
     }
-    let query_start = Instant::now();
-    run_plan(sys, &mut plan, &mut ctx);
-    let total = query_start.elapsed();
-    finalize(sys, ctx, total)
+    (plan, ctx)
+}
+
+/// Execute the full query plan for `question`: the one entry point behind
+/// `answer_open`, `answer_multiple_choice`, and the `*_budgeted` pair. A
+/// batch of one through the slot scheduler's stepper — the same code that
+/// runs interleaved cross-query batches.
+pub(crate) fn execute(
+    sys: &RagSystem,
+    question: &str,
+    options: Option<&[String]>,
+    budget: Option<QueryBudget>,
+) -> QueryResult {
+    let (plan, ctx) = prepare(sys, question, options, budget);
+    sched::drive(sys, plan, ctx)
 }
 
 /// [`execute`] with panic isolation: a panic anywhere in the pipeline
@@ -210,7 +195,7 @@ pub(crate) fn execute_fixed(
     chunk_ids: &[usize],
     options: Option<&[String]>,
 ) -> QueryResult {
-    let mut plan = QueryPlan::fixed();
+    let plan = QueryPlan::fixed();
     let qt = sys.telemetry.as_ref().map(|_| Trace::start(question));
     let mut ctx = QueryCtx::new(question, options, None, qt, None, sys.config.min_k);
     ctx.fixed = true;
@@ -223,8 +208,7 @@ pub(crate) fn execute_fixed(
     // sage-lint: allow(panic-reachability) - chunk ids were produced against sys.chunks by this run's retriever
     ctx.context = chunk_ids.iter().map(|&id| sys.chunks[id].clone()).collect();
     ctx.retrieval_latency = assemble_start.elapsed();
-    run_plan(sys, &mut plan, &mut ctx);
-    finalize(sys, ctx, query_start.elapsed())
+    sched::drive_from(sys, plan, ctx, query_start)
 }
 
 /// Execute only the prelude (retrieval + rerank) unguarded and unbudgeted:

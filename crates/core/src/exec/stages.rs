@@ -92,7 +92,15 @@ impl Stage for EmbedStage {
                 }
             }
             None => {
-                ctx.query_vec = sys.retriever.embed_query(ctx.question);
+                // A scheduler-coalesced batch embedding stands in for the
+                // per-slot call when present — same bytes either way, by
+                // the `EmbedBatch` element-wise contract. Guarded runs
+                // never receive a prefetch: fault injection is keyed per
+                // question inside the guard, so they must reach it.
+                ctx.query_vec = match ctx.prefetched_query_vec.take() {
+                    Some(v) => Some(v),
+                    None => sys.retriever.embed_query(ctx.question),
+                };
                 Flow::Continue
             }
         }

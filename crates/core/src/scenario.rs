@@ -60,6 +60,7 @@ fn soak_config(cell: &ScenarioCell) -> SoakConfig {
         capacity: cell.capacity as usize,
         concurrency: cell.concurrency as usize,
         shards: cell.shards.max(1) as u32,
+        exec_workers: cell.exec_workers.max(1) as usize,
         budget: Some(QueryBudget::new(
             Duration::from_millis(cell.deadline_ms),
             cell.max_tokens,
@@ -144,6 +145,16 @@ mod tests {
         let a = run_cell(models(), &quick_cell()).unwrap();
         let b = run_cell(models(), &quick_cell()).unwrap();
         assert_eq!(a.to_json(), b.to_json(), "same cell must render identically");
+    }
+
+    #[test]
+    fn exec_workers_axis_never_moves_a_metric() {
+        // The axis is a wall-clock knob only: the rendered row must be
+        // byte-identical at any worker count.
+        let base = run_cell(models(), &quick_cell()).unwrap();
+        let waved =
+            run_cell(models(), &ScenarioCell { exec_workers: 4, ..quick_cell() }).unwrap();
+        assert_eq!(base.to_json(), waved.to_json());
     }
 
     #[test]

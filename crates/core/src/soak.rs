@@ -21,6 +21,7 @@
 //! admission queue shrinks the deadline budget its pipeline run receives,
 //! and deeper queues push queries further down the brownout ladder.
 
+use crate::exec::sched::{self, BatchSpec};
 use crate::pipeline::RagSystem;
 use sage_admission::{
     arrival_plan, AdmissionConfig, AdmissionQueue, Decision, Priority, QueryBudget, ShedReason,
@@ -269,6 +270,8 @@ pub fn run_soak(sys: &RagSystem, questions: &[String], cfg: &SoakConfig) -> Soak
         questions,
         base_budget: cfg.budget,
         router,
+        exec_workers: cfg.exec_workers,
+        seed: cfg.seed,
         queue: &mut queue,
         pending: &mut pending,
         free_at: &mut free_at,
@@ -304,6 +307,11 @@ struct SimState<'a> {
     base_budget: Option<QueryBudget>,
     /// Routes each job to its home server pool (identity at one shard).
     router: ShardRouter,
+    /// Real scheduler threads per dispatch wave (`<= 1` keeps the exact
+    /// historical sequential path).
+    exec_workers: usize,
+    /// Soak seed, reused as the scheduler's worker-assignment seed.
+    seed: u64,
     queue: &'a mut AdmissionQueue,
     pending: &'a mut VecDeque<Job>,
     /// Per-shard pools of virtual-server busy horizons.
@@ -370,65 +378,121 @@ impl SimState<'_> {
         }
     }
 
+    /// The (start, home pool, slot) placement the front job would get from
+    /// the current busy horizons: home pool by stable hash of the sequence
+    /// number, then the earliest-free server within it; ties break to the
+    /// lowest slot (first minimum wins).
+    fn place(&self, job: &Job) -> (Duration, usize, usize) {
+        let home = self.router.route_id(job.seq) as usize;
+        let pool = &self.free_at[home];
+        let slot = pool
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| **f)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        (pool[slot].max(job.at), home, slot)
+    }
+
     /// Start every pending job whose virtual start time lands before
     /// `now`, in FIFO order. A job starts when the earliest-free server of
     /// its *home shard's* pool is available *and* the job has arrived.
+    ///
+    /// With `exec_workers > 1` the same FIFO sequence is cut into
+    /// *dispatch waves* — maximal prefixes whose placements are mutually
+    /// independent — and each wave's pipelines run interleaved through the
+    /// cross-query slot scheduler, with all bookkeeping replayed in FIFO
+    /// order afterwards. Virtual time never notices: logs, observations,
+    /// and reports are byte-identical to the sequential path.
     fn dispatch_until(&mut self, now: Duration) {
+        if self.exec_workers <= 1 {
+            while let Some(job) = self.pending.front() {
+                let (start, home, slot) = self.place(job);
+                if start >= now {
+                    break;
+                }
+                let Some(job) = self.pending.pop_front() else { break };
+                self.queue.release();
+                self.start(job, start, home, slot);
+            }
+            return;
+        }
+        while self.dispatch_wave(now) {}
+    }
+
+    /// Collect and run one dispatch wave: the maximal FIFO prefix of
+    /// startable jobs whose placements don't depend on each other. A job's
+    /// placement reads only its home pool's busy horizons, and only a
+    /// *completed* job writes them — so the wave closes at the first job
+    /// whose home pool an earlier wave member already claimed (its
+    /// placement must see that member's finish first). Expiring jobs claim
+    /// nothing and ride along in wave position. Returns whether anything
+    /// was dispatched.
+    fn dispatch_wave(&mut self, now: Duration) -> bool {
+        let mut wave: Vec<(Job, Duration, usize, usize, bool)> = Vec::new();
+        let mut claimed = vec![false; self.free_at.len()];
         while let Some(job) = self.pending.front() {
-            // Home pool by stable hash of the sequence number, then the
-            // earliest-free server within it; ties break to the lowest
-            // slot (first minimum wins).
-            let home = self.router.route_id(job.seq) as usize;
-            let pool = &self.free_at[home];
-            let slot = pool
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, f)| **f)
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            let start = pool[slot].max(job.at);
-            if start >= now {
+            let (start, home, slot) = self.place(job);
+            if claimed[home] || start >= now {
                 break;
             }
             let Some(job) = self.pending.pop_front() else { break };
             self.queue.release();
-            self.start(job, start, home, slot);
+            let expired = job.deadline.is_some_and(|d| start >= d);
+            if !expired {
+                claimed[home] = true;
+            }
+            wave.push((job, start, home, slot, expired));
         }
+        if wave.is_empty() {
+            return false;
+        }
+        // Run the wave's live pipelines interleaved through the slot
+        // scheduler (budgets fixed at placement time, exactly as the
+        // sequential path computes them).
+        let questions: &[String] = self.questions;
+        let specs: Vec<BatchSpec<'_>> = wave
+            .iter()
+            .filter(|(_, _, _, _, expired)| !expired)
+            .map(|(job, start, _, _, _)| BatchSpec {
+                question: &questions[job.seq % questions.len()],
+                options: None,
+                budget: match (self.base_budget, job.deadline) {
+                    (Some(base), Some(deadline)) => {
+                        Some(QueryBudget::new(deadline.saturating_sub(*start), base.max_tokens))
+                    }
+                    _ => None,
+                },
+            })
+            .collect();
+        let mut outcomes =
+            sched::run_interleaved(self.sys, &specs, self.exec_workers, self.seed).into_iter();
+        // Replay all bookkeeping in FIFO order: horizons, logs, and
+        // observations land exactly as the sequential path writes them.
+        for (job, start, home, slot, expired) in wave {
+            let wait = start.saturating_sub(job.at);
+            if expired {
+                self.expire(job, start, wait);
+            } else if let Some(outcome) = outcomes.next() {
+                // One outcome per live wave member, by construction: the
+                // spec list was built from exactly the non-expired jobs.
+                self.settle(job, start, home, slot, outcome);
+            }
+        }
+        true
     }
 
     /// Run one job at virtual time `start` on server `slot` of pool
-    /// `home`.
+    /// `home` — the sequential path: execute the pipeline inline, then
+    /// settle the bookkeeping.
     fn start(&mut self, job: Job, start: Duration, home: usize, slot: usize) {
         let wait = start.saturating_sub(job.at);
-        if let Some(deadline) = job.deadline {
-            if start >= deadline {
-                self.report.expired += 1;
-                self.report.log.push(format!(
-                    "[{}] expire q={} class={} waited={}",
-                    fmt_t(start),
-                    job.seq,
-                    job.class,
-                    fmt_t(wait)
-                ));
-                self.record_obs(QueryObs {
-                    seq: job.seq as u64,
-                    class: job.class.label(),
-                    arrival_us: job.at.as_micros() as u64,
-                    end_us: start.as_micros() as u64,
-                    sojourn_ns: wait.as_nanos() as u64,
-                    service_ns: 0,
-                    outcome: Outcome::Expired,
-                    brownout: 0,
-                    degraded: 0,
-                    deadline_missed: true,
-                    tokens: 0,
-                    confidence_milli: 0,
-                    question: self.questions[job.seq % self.questions.len()].clone(),
-                });
-                return;
-            }
+        if job.deadline.is_some_and(|d| start >= d) {
+            self.expire(job, start, wait);
+            return;
         }
-        let question = &self.questions[job.seq % self.questions.len()];
+        let questions: &[String] = self.questions;
+        let question = &questions[job.seq % questions.len()];
         let outcome = match (self.base_budget, job.deadline) {
             (Some(base), Some(deadline)) => {
                 let remaining = deadline.saturating_sub(start);
@@ -437,6 +501,51 @@ impl SimState<'_> {
             }
             _ => self.sys.try_answer_open(question),
         };
+        self.settle(job, start, home, slot, outcome);
+    }
+
+    /// Bookkeeping for a job whose deadline passed while it queued.
+    fn expire(&mut self, job: Job, start: Duration, wait: Duration) {
+        self.report.expired += 1;
+        self.report.log.push(format!(
+            "[{}] expire q={} class={} waited={}",
+            fmt_t(start),
+            job.seq,
+            job.class,
+            fmt_t(wait)
+        ));
+        self.record_obs(QueryObs {
+            seq: job.seq as u64,
+            class: job.class.label(),
+            arrival_us: job.at.as_micros() as u64,
+            end_us: start.as_micros() as u64,
+            sojourn_ns: wait.as_nanos() as u64,
+            service_ns: 0,
+            outcome: Outcome::Expired,
+            brownout: 0,
+            degraded: 0,
+            deadline_missed: true,
+            tokens: 0,
+            confidence_milli: 0,
+            question: self.questions[job.seq % self.questions.len()].clone(),
+        });
+    }
+
+    /// Fold one finished pipeline outcome into the simulation: advance the
+    /// server's busy horizon by the virtual service time and write the
+    /// job's log line and observation. Shared verbatim by the sequential
+    /// and wave paths — the outcome's deterministic fields are identical
+    /// either way, so the bookkeeping is too.
+    fn settle(
+        &mut self,
+        job: Job,
+        start: Duration,
+        home: usize,
+        slot: usize,
+        outcome: Result<crate::QueryResult, sage_resilience::SageError>,
+    ) {
+        let wait = start.saturating_sub(job.at);
+        let question = &self.questions[job.seq % self.questions.len()];
         let service = match &outcome {
             Ok(r) => r.answer_latency + r.feedback_latency + r.degraded.total_delay(),
             Err(_) => ERROR_SERVICE,
@@ -699,6 +808,36 @@ mod tests {
         );
         // Determinism holds under faults too.
         assert_eq!(r, run_soak(&sys, &questions(), &cfg));
+    }
+
+    #[test]
+    fn exec_workers_replay_byte_identically() {
+        // The scheduler threads are a wall-clock knob only: every virtual
+        // quantity — log lines, observations, the whole report — must be
+        // byte-identical at any worker count.
+        let sys = system();
+        let base = run_soak(&sys, &questions(), &quick_cfg());
+        for w in [2usize, 4, 8] {
+            let cfg = SoakConfig { exec_workers: w, ..quick_cfg() };
+            let r = run_soak(&sys, &questions(), &cfg);
+            assert_eq!(base, r, "exec_workers={w} changed the report");
+        }
+    }
+
+    #[test]
+    fn exec_workers_replay_under_shards_and_faults() {
+        use crate::resilience::ResilienceConfig;
+        use sage_resilience::{FaultPlan, Rates};
+        let mut sys = system();
+        sys.enable_resilience(ResilienceConfig::with_plan(
+            FaultPlan::seeded(7).with_shard(1, Rates { timeout: 1.0, ..Rates::default() }),
+        ));
+        sys.enable_sharding(4, None);
+        let cfg = SoakConfig { shards: 4, ..quick_cfg() };
+        let base = run_soak(&sys, &questions(), &cfg);
+        let waved = run_soak(&sys, &questions(), &SoakConfig { exec_workers: 4, ..cfg });
+        assert_eq!(base, waved, "faulted sharded soak must be exec_workers-invariant");
+        assert!(base.shard_partial > 0, "fault must actually bite: {}", base.summary());
     }
 
     #[test]

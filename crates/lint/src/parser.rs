@@ -73,9 +73,10 @@ pub fn parse_items(tokens: &[Tok]) -> Vec<Item> {
     parse_block(tokens, &mut i, tokens.len(), None)
 }
 
-/// Parse items until `end` (exclusive). `self_ty` is the enclosing
-/// impl/trait type for fn items.
-fn parse_block(tokens: &[Tok], i: &mut usize, end: usize, self_ty: Option<&str>) -> Vec<Item> {
+/// Parse items until `end` (exclusive). `_self_ty` is the enclosing
+/// impl/trait type for fn items (reserved; method names are currently
+/// resolved without it).
+fn parse_block(tokens: &[Tok], i: &mut usize, end: usize, _self_ty: Option<&str>) -> Vec<Item> {
     let mut items = Vec::new();
     while *i < end {
         let start = *i;

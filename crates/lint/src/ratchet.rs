@@ -52,9 +52,8 @@ pub struct Baseline {
 /// Parse a baseline document.
 pub fn parse(text: &str) -> Result<Baseline, String> {
     let doc = jsonv::parse(text).map_err(|e| format!("baseline is not JSON: {e}"))?;
-    match doc.get("version").and_then(Value::as_f64) {
-        Some(v) if v == 1.0 => {}
-        _ => return Err("baseline `version` must be 1".to_string()),
+    if doc.get("version").and_then(Value::as_f64) != Some(1.0) {
+        return Err("baseline `version` must be 1".to_string());
     }
     let rules = doc
         .get("rules")

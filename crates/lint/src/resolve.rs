@@ -180,7 +180,7 @@ impl Workspace {
             if t.kind != TokKind::Ident {
                 continue;
             }
-            if !toks.get(j + 1).is_some_and(|n| punct(n) == Some('(')) {
+            if toks.get(j + 1).is_none_or(|n| punct(n) != Some('(')) {
                 continue;
             }
             let name = t.text.as_str();

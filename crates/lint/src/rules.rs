@@ -48,6 +48,17 @@ pub const RECORDER_BEHIND_OBS: &str = "recorder-behind-obs";
 /// tie-break than the executor — silently breaking the
 /// sharded==unsharded equivalence the drills rely on.
 pub const SHARD_STATE_CONFINED: &str = "shard-state-confined";
+/// Architecture: cross-query scheduler state stays confined. The slot
+/// scheduler's working surfaces (`QueryRun`, `BatchSpec`,
+/// `run_interleaved`, `profile_interleaved`, `worker_of`) carry
+/// mid-flight query positions and the deterministic worker assignment;
+/// they are only consumed by the execution engine (`core/src/exec/`)
+/// and the soak harness's dispatch waves (`src/soak.rs`). Held anywhere
+/// else, a `QueryRun` could outlive its tick or re-enter a stage with a
+/// different assignment seed — silently breaking the byte-identity the
+/// interleaved==sequential proofs rely on. The read-only reporting
+/// surfaces (`ScheduleStats`, `render_schedule`) stay public.
+pub const SCHEDULER_STATE_CONFINED: &str = "scheduler-state-confined";
 /// Whole-program rule: a serving entry point (executor stages, vecdb /
 /// retriever search, the live apply path) must not *transitively* reach
 /// a panic site — `panic!`-family macros, `.unwrap()`/`.expect()`, or a
@@ -82,6 +93,7 @@ pub const ALL_RULES: &[&str] = &[
     MUTATION_BEHIND_WRITER,
     RECORDER_BEHIND_OBS,
     SHARD_STATE_CONFINED,
+    SCHEDULER_STATE_CONFINED,
     PANIC_REACHABILITY,
     DETERMINISM_TAINT,
 ];
@@ -99,6 +111,7 @@ pub const REPORTABLE_RULES: &[&str] = &[
     MUTATION_BEHIND_WRITER,
     RECORDER_BEHIND_OBS,
     SHARD_STATE_CONFINED,
+    SCHEDULER_STATE_CONFINED,
     PANIC_REACHABILITY,
     DETERMINISM_TAINT,
     STALE_SUPPRESSION,
@@ -379,6 +392,34 @@ pub fn check_file(crate_key: &str, file: &str, tokens: &[Tok]) -> Vec<Violation>
             ));
         }
 
+        // Scheduler working state stays with its owners: the execution
+        // engine defines the slot scheduler, and the soak harness's
+        // dispatch waves are the one external consumer. `use` lines stay
+        // exempt for facade re-exports; the reporting surfaces
+        // (ScheduleStats, render_schedule) are deliberately not listed.
+        let sched_home = file.contains("/exec/") || file.ends_with("/src/soak.rs");
+        if library
+            && !sched_home
+            && !in_use
+            && matches!(
+                word,
+                "QueryRun" | "BatchSpec" | "run_interleaved" | "profile_interleaved" | "worker_of"
+            )
+        {
+            out.push(Violation::new(
+                SCHEDULER_STATE_CONFINED,
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "`{word}` outside the scheduler layer (core/src/exec/, the soak \
+                     dispatch waves): mid-flight scheduler state held elsewhere can \
+                     re-enter a stage off-schedule and break the batched/sequential \
+                     byte-identity; go through answer_batch/profile_batch"
+                ),
+            ));
+        }
+
         if crate_key == "core" && word == "catch_unwind" && !file.contains("/exec/") {
             out.push(Violation::new(
                 UNWIND_BOUNDARY,
@@ -569,6 +610,30 @@ mod tests {
         // …re-exports and binaries stay legal.
         assert!(run("sage", "pub use sage_vecdb::{merge_hits, ShardRouter, ShardedFlat};")
             .is_empty());
+        assert!(run("cli", src).is_empty());
+    }
+
+    #[test]
+    fn scheduler_state_confined_to_its_layer() {
+        let src = "fn f(r: &mut QueryRun, specs: &[BatchSpec]) \
+                   { let w = worker_of(1, 0, 2, 4); run_interleaved(sys, specs, w, 7); }";
+        // Library code outside the scheduler layer may not hold run state…
+        let vs = check_file("core", "crates/core/src/pipeline.rs", &lex(src).tokens);
+        assert_eq!(rules_of(&vs), vec![SCHEDULER_STATE_CONFINED; 4]);
+        assert_eq!(
+            rules_of(&check_file("llm", "crates/llm/src/reader.rs", &lex(src).tokens)),
+            vec![SCHEDULER_STATE_CONFINED; 4]
+        );
+        // …the execution engine defines the surface…
+        assert!(check_file("core", "crates/core/src/exec/sched.rs", &lex(src).tokens).is_empty());
+        assert!(check_file("core", "crates/core/src/exec/batch.rs", &lex(src).tokens).is_empty());
+        // …the soak dispatch waves are the one external consumer…
+        assert!(check_file("core", "crates/core/src/soak.rs", &lex(src).tokens).is_empty());
+        // …the reporting surfaces stay unconfined everywhere…
+        let report = "fn g(s: &ScheduleStats) -> String { render_schedule(p, 2, 4, 7) }";
+        assert!(check_file("core", "crates/core/src/pipeline.rs", &lex(report).tokens).is_empty());
+        // …re-exports and binaries stay legal.
+        assert!(run("core", "use sched::{self, BatchSpec};").is_empty());
         assert!(run("cli", src).is_empty());
     }
 

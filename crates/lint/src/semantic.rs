@@ -224,8 +224,7 @@ fn panic_sources(toks: &[Tok], b0: usize, b1: usize) -> Vec<Source> {
 fn determinism_sources(toks: &[Tok], b0: usize, b1: usize) -> Vec<Source> {
     let mut out = Vec::new();
     let mut in_use = false;
-    for j in b0..b1.min(toks.len()) {
-        let t = &toks[j];
+    for t in toks.iter().take(b1.min(toks.len())).skip(b0) {
         if t.kind == TokKind::Ident && t.text == "use" {
             in_use = true;
         }

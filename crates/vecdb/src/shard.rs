@@ -197,7 +197,7 @@ mod tests {
         let r = ShardRouter::new(4);
         let assign = r.assignment(100);
         for s in 0..4 {
-            assert!(assign.iter().any(|&a| a == s), "shard {s} is empty over 100 ids");
+            assert!(assign.contains(&s), "shard {s} is empty over 100 ids");
         }
     }
 

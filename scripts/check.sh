@@ -97,6 +97,21 @@ if [ "${1:-}" != fast ]; then
   grep -q 'panics 0' "$tmp/soak_a.err" || { echo "FAIL: soak saw panics"; exit 1; }
   echo "soak smoke ok"
 
+  echo "=== batched-equivalence smoke (slot scheduler is invisible)"
+  # The cross-query slot scheduler is a wall-clock knob only: the same
+  # soak served through 4 scheduler workers per dispatch wave must print
+  # the exact event log the sequential path prints, byte for byte.
+  cargo run -q --release -p sage-cli -- soak \
+    --seed 42 --duration 10 --qps 3 --docs 1 --exec-workers 4 \
+    > "$tmp/soak_w4.log" 2> "$tmp/soak_w4.err"
+  diff -q "$tmp/soak_a.log" "$tmp/soak_w4.log" \
+    || { echo "FAIL: --exec-workers 4 soak diverges from the sequential path"; exit 1; }
+  grep -q ' done ' "$tmp/soak_w4.log" \
+    || { echo "FAIL: batched soak completed nothing"; exit 1; }
+  grep -q 'panics 0' "$tmp/soak_w4.err" \
+    || { echo "FAIL: batched soak saw panics"; exit 1; }
+  echo "batched-equivalence smoke ok"
+
   echo "=== shard smoke (scatter-gather determinism + loss drill)"
   # Scatter-gather must be invisible when healthy: the same question
   # served through 4 shards must print the exact answer the unsharded

@@ -336,8 +336,8 @@ proptest! {
 // produce identical results — including the degradation trace.
 
 use sage::prelude::{
-    Component, FaultPlan, LlmProfile, RagSystem, Rates, ResilienceConfig, RetrieverKind,
-    SageConfig, TrainBudget, TrainedModels,
+    Component, FaultPlan, LlmProfile, QueryResult, RagSystem, Rates, ResilienceConfig,
+    RetrieverKind, SageConfig, SageError, TrainBudget, TrainedModels,
 };
 use std::sync::OnceLock;
 
@@ -503,6 +503,143 @@ proptest! {
         prop_assert_eq!(plain.feedback_rounds, sharded.feedback_rounds);
         prop_assert_eq!(plain.feedback_score, sharded.feedback_score);
         prop_assert_eq!(&plain.degraded, &sharded.degraded);
+    }
+}
+
+// --- Cross-query slot scheduler ------------------------------------------
+//
+// `try_answer_batch` runs many queries through the slot scheduler, which
+// interleaves their stages and coalesces same-stage slots into cross-query
+// batch ops. The interleaving must be invisible: every deterministic
+// output field and the telemetry cost ledger must be byte-identical to a
+// plain sequential loop over `try_answer_open`, at every worker count,
+// every batch size, and under any fault plan — including injected panics,
+// which fail exactly their own slot.
+
+/// A batch cycling over the corpus facts: repeats stress the coalescer
+/// (identical slots in one group) without changing any single answer.
+fn scheduler_questions() -> Vec<String> {
+    let pool = [
+        "What is the color of Whiskers's eyes?",
+        "Where does Dorinwick live?",
+        "What animal is Patchy?",
+        "What is the color of Patchy's eyes?",
+        "What does Dorinwick work as?",
+        "What settled over the valley?",
+    ];
+    (0..16).map(|i| pool[i % pool.len()].to_string()).collect()
+}
+
+/// Every deterministic field of one batch slot, rendered for comparison.
+/// Wall-clock latencies are measurements, not outputs, and are excluded.
+fn slot_view(r: &Result<QueryResult, SageError>) -> String {
+    match r {
+        Ok(q) => format!(
+            "ok|{}|{:?}|{:?}|{:?}|{}|{}|{}|{:?}|{:?}",
+            q.answer.text,
+            q.answer.confidence,
+            q.picked_option,
+            q.selected,
+            q.cost.input_tokens,
+            q.cost.output_tokens,
+            q.feedback_rounds,
+            q.feedback_score,
+            q.degraded,
+        ),
+        Err(e) => format!("err|{e:?}"),
+    }
+}
+
+/// Per-stage cost ledger snapshot from a telemetry hub.
+fn ledger_view(hub: &sage::telemetry::Telemetry) -> Vec<sage::telemetry::StageCost> {
+    sage::telemetry::Stage::ALL.iter().map(|&s| hub.ledger().get(s)).collect()
+}
+
+/// The acceptance grid, exhaustively: workers {1,2,4,8} x batch {1,3,16}
+/// under a fixed fault plan with every fault kind armed (panics included).
+#[test]
+fn batched_answers_equal_sequential_at_every_grid_point() {
+    let questions = scheduler_questions();
+    let plan = FaultPlan::seeded(7)
+        .with(
+            Component::Reader,
+            Rates { panic: 0.10, corrupt: 0.10, timeout: 0.10, transient: 0.25 },
+        )
+        .with(
+            Component::Embedder,
+            Rates { panic: 0.0, corrupt: 0.05, timeout: 0.05, transient: 0.20 },
+        );
+    let mut system = build_resilient(plan);
+    for cut in [1usize, 3, 16] {
+        let qs = &questions[..cut];
+        let hub = system.enable_telemetry();
+        let seq: Vec<_> = qs.iter().map(|q| system.try_answer_open(q)).collect();
+        let seq_cost = ledger_view(&hub);
+        for workers in [1usize, 2, 4, 8] {
+            let hub = system.enable_telemetry();
+            let got = system.try_answer_batch(qs, workers);
+            assert_eq!(got.len(), qs.len());
+            for (i, (g, s)) in got.iter().zip(&seq).enumerate() {
+                assert_eq!(
+                    slot_view(g),
+                    slot_view(s),
+                    "slot {i} diverged at workers={workers} batch={cut}"
+                );
+            }
+            assert_eq!(
+                ledger_view(&hub),
+                seq_cost,
+                "cost ledger diverged at workers={workers} batch={cut}"
+            );
+        }
+    }
+}
+
+/// Rates with panic mass: scheduler slots must fail independently.
+fn panicky_rates_strategy() -> impl Strategy<Value = Rates> {
+    (0.0f64..0.3, 0.0f64..0.2, 0.0f64..0.2, 0.0f64..0.25).prop_map(
+        |(transient, timeout, corrupt, panic)| Rates { panic, corrupt, timeout, transient },
+    )
+}
+
+proptest! {
+    // Each case builds two full systems; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn scheduler_interleaving_is_invisible_under_any_fault_plan(
+        seed in 0u64..1_000_000,
+        embedder in rates_strategy(),
+        reranker in rates_strategy(),
+        reader in panicky_rates_strategy(),
+        w_idx in 0usize..4,
+        b_idx in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 4, 8][w_idx];
+        let cut = [1usize, 3, 16][b_idx];
+        let questions = scheduler_questions();
+        let qs = &questions[..cut];
+        let plan = FaultPlan::seeded(seed)
+            .with(Component::Embedder, embedder)
+            .with(Component::Reranker, reranker)
+            .with(Component::Reader, reader);
+
+        let mut batch_sys = build_resilient(plan.clone());
+        let batch_hub = batch_sys.enable_telemetry();
+        let got = batch_sys.try_answer_batch(qs, workers);
+
+        let mut seq_sys = build_resilient(plan);
+        let seq_hub = seq_sys.enable_telemetry();
+        let seq: Vec<_> = qs.iter().map(|q| seq_sys.try_answer_open(q)).collect();
+
+        for (i, (g, s)) in got.iter().zip(&seq).enumerate() {
+            prop_assert_eq!(
+                slot_view(g),
+                slot_view(s),
+                "slot {} diverged at workers={} batch={}", i, workers, cut
+            );
+        }
+        prop_assert_eq!(ledger_view(&batch_hub), ledger_view(&seq_hub));
     }
 }
 
